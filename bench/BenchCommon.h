@@ -1,0 +1,176 @@
+//===- bench/BenchCommon.h - Shared benchmark harness code ------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the per-table/per-figure benchmark binaries: input
+/// graph preparation (the paper's three graph classes at a configurable
+/// scale), timed-and-verified kernel execution, and the default execution
+/// configuration. Every harness accepts:
+///
+///   --scale=N   graph scale (default 3; paper-like sizes need ~10 and a
+///               large machine)
+///   --reps=N    timing repetitions (default 3; paper uses 20)
+///   --tasks=N   ISPC-style task count (default: hardware threads)
+///   --tasksys=S serial|spawn|pool|spin (default pool)
+///   --verify=0  skip output verification for faster sweeps
+///
+/// or the equivalent EGACS_* environment variables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_BENCH_BENCHCOMMON_H
+#define EGACS_BENCH_BENCHCOMMON_H
+
+#include "graph/Generators.h"
+#include "kernels/Kernels.h"
+#include "simd/Ops.h"
+#include "simd/Targets.h"
+#include "support/CpuInfo.h"
+#include "support/Options.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace egacs::bench {
+
+/// A prepared benchmark input.
+struct Input {
+  std::string Name;   ///< "road", "rmat", or "random"
+  Csr G;              ///< the graph (weights always present)
+  Csr GSorted;        ///< destination-sorted variant (for tri)
+  NodeId Source = 0;  ///< bfs/sssp source (highest-degree node)
+};
+
+/// Common harness options parsed from argv/environment.
+struct BenchEnv {
+  Options Opts;
+  int Scale;
+  int Reps;
+  int NumTasks;
+  TaskSystemKind TsKind;
+  bool Verify;
+
+  BenchEnv(int Argc, char **Argv)
+      : Opts(Argc, Argv),
+        Scale(static_cast<int>(Opts.getInt("scale", 3))),
+        Reps(static_cast<int>(Opts.getInt("reps", 3))),
+        NumTasks(static_cast<int>(
+            Opts.getInt("tasks", cpuInfo().HardwareThreads))),
+        TsKind(parseTaskSystemKind(Opts.getString("tasksys", "pool"))),
+        Verify(Opts.getBool("verify", true)) {
+    if (NumTasks < 1)
+      NumTasks = 1;
+  }
+
+  /// Builds the configured task system.
+  std::unique_ptr<TaskSystem> makeTs(int Workers = -1) const {
+    return makeTaskSystem(TsKind, Workers < 0 ? NumTasks : Workers);
+  }
+};
+
+/// Prepares one named input at the harness scale.
+inline Input makeInput(const std::string &Name, int Scale) {
+  Input In;
+  In.Name = Name;
+  In.G = namedGraph(Name, Scale);
+  In.GSorted = In.G.sortedByDestination();
+  // Seed traversals from the highest-degree node so every run explores a
+  // large component (the paper's sources sit in the giant component).
+  EdgeId BestDeg = -1;
+  for (NodeId N = 0; N < In.G.numNodes(); ++N)
+    if (In.G.degree(N) > BestDeg) {
+      BestDeg = In.G.degree(N);
+      In.Source = N;
+    }
+  return In;
+}
+
+/// The paper's three inputs.
+inline std::vector<Input> makeAllInputs(int Scale) {
+  std::vector<Input> Inputs;
+  Inputs.push_back(makeInput("road", Scale));
+  Inputs.push_back(makeInput("rmat", Scale));
+  Inputs.push_back(makeInput("random", Scale));
+  return Inputs;
+}
+
+/// Selects the graph variant a kernel needs.
+inline const Csr &graphFor(const Input &In, KernelKind Kind) {
+  return kernelNeedsSortedAdjacency(Kind) ? In.GSorted : In.G;
+}
+
+/// Runs \p Kind \p Reps times and returns the average milliseconds;
+/// verifies the first run's output when \p Verify is set.
+inline double timeKernel(KernelKind Kind, simd::TargetKind Target,
+                         const Input &In, const KernelConfig &Cfg, int Reps,
+                         bool Verify) {
+  const Csr &G = graphFor(In, Kind);
+  if (Verify) {
+    KernelOutput Out = runKernel(Kind, Target, G, Cfg, In.Source);
+    if (!verifyKernelOutput(Kind, G, In.Source, Out, Cfg)) {
+      std::fprintf(stderr,
+                   "error: %s on %s with %s failed verification\n",
+                   kernelName(Kind), In.Name.c_str(),
+                   simd::targetName(Target));
+      std::exit(1);
+    }
+  }
+  double Total = 0.0;
+  for (int R = 0; R < Reps; ++R)
+    Total += timeMs([&] { runKernel(Kind, Target, G, Cfg, In.Source); });
+  return Total / Reps;
+}
+
+/// Runs once with dynamic-operation counting enabled and returns the
+/// counter deltas (the Pin stand-in).
+inline StatsSnapshot profileKernel(KernelKind Kind, simd::TargetKind Target,
+                                   const Input &In,
+                                   const KernelConfig &Cfg) {
+  const Csr &G = graphFor(In, Kind);
+  simd::setOpCounting(true);
+  StatsSnapshot Before = StatsSnapshot::capture();
+  runKernel(Kind, Target, G, Cfg, In.Source);
+  StatsSnapshot Delta = StatsSnapshot::capture() - Before;
+  simd::setOpCounting(false);
+  return Delta;
+}
+
+/// The serial baseline: the SPMD code at width 1 with one task (paper IV-A).
+inline double timeSerial(KernelKind Kind, const Input &In, int Reps,
+                         bool Verify) {
+  SerialTaskSystem TS;
+  KernelConfig Cfg = KernelConfig::allOptimizations(TS, 1);
+  return timeKernel(Kind, simd::TargetKind::Scalar1, In, Cfg, Reps, Verify);
+}
+
+/// The best SIMD target this machine supports.
+inline simd::TargetKind bestTarget() {
+  if (simd::targetSupported(simd::TargetKind::Avx512x16))
+    return simd::TargetKind::Avx512x16;
+  if (simd::targetSupported(simd::TargetKind::Avx2x8))
+    return simd::TargetKind::Avx2x8;
+  return simd::TargetKind::Scalar8;
+}
+
+/// Prints the standard harness banner.
+inline void banner(const char *What, const BenchEnv &Env) {
+  std::printf("== EGACS reproduction: %s ==\n", What);
+  std::printf("machine: %d hw threads, avx2=%d avx512=%d | scale=%d "
+              "reps=%d tasks=%d tasksys=%d\n\n",
+              cpuInfo().HardwareThreads, cpuInfo().HasAvx2,
+              cpuInfo().HasAvx512f, Env.Scale, Env.Reps, Env.NumTasks,
+              static_cast<int>(Env.TsKind));
+}
+
+} // namespace egacs::bench
+
+#endif // EGACS_BENCH_BENCHCOMMON_H

@@ -1,0 +1,47 @@
+//===- bench/bench_ablate_hybrid.cpp - bfs-hb switch-point ablation -------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+// Ablation of the hybrid BFS density threshold: bfs-hb switches to dense
+// (topology) rounds when the frontier exceeds |V| / HybridDenominator.
+// Small denominators go dense early (cheap on low-diameter graphs, wasteful
+// on roads); huge denominators never go dense, degenerating to bfs-cx.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace egacs;
+using namespace egacs::bench;
+using namespace egacs::simd;
+
+int main(int Argc, char **Argv) {
+  BenchEnv Env(Argc, Argv);
+  banner("ablation - bfs-hb hybrid threshold (default |V|/20)", Env);
+  auto TS = Env.makeTs();
+  TargetKind Target = bestTarget();
+
+  // Dense when |frontier| > |V|/denom: denom=1 never goes dense,
+  // denom=2^30 makes the threshold zero (always dense).
+  Table T({"graph", "never dense", "denom=4", "denom=20", "denom=100",
+           "always dense"});
+  const int Denoms[] = {1, 4, 20, 100, 1 << 30};
+  for (const Input &In : makeAllInputs(Env.Scale)) {
+    std::vector<std::string> Cells{In.Name};
+    for (int Denom : Denoms) {
+      KernelConfig Cfg = KernelConfig::allOptimizations(*TS, Env.NumTasks);
+      Cfg.HybridDenominator = Denom;
+      double Ms = timeKernel(KernelKind::BfsHb, Target, In, Cfg, Env.Reps,
+                             Env.Verify && Denom == Denoms[0]);
+      Cells.push_back(Table::fmt(Ms) + " ms");
+    }
+    T.addRow(std::move(Cells));
+  }
+  T.print();
+  std::printf("\ndesign note: always-dense wastes full rescans on the "
+              "long-diameter road graph; low-diameter rmat/random tolerate "
+              "(or prefer) earlier dense switching. The default |V|/20 is "
+              "safe everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+//===- bench/bench_ablate_npbuffer.cpp - NP staging buffer ablation -------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+// Ablation of the Nested Parallelism fine-grained staging buffer: larger
+// buffers pack low-degree edges into fuller vectors across vertex chunks,
+// smaller buffers keep the staged data hot in cache (a design trade-off of
+// the inspector-executor in Section III-B2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace egacs;
+using namespace egacs::bench;
+using namespace egacs::simd;
+
+int main(int Argc, char **Argv) {
+  BenchEnv Env(Argc, Argv);
+  banner("ablation - NP staging buffer capacity (default 4096)", Env);
+  auto TS = Env.makeTs();
+  TargetKind Target = bestTarget();
+
+  Table T({"kernel", "graph", "cap=64", "cap=512", "cap=4096", "cap=32768"});
+  const int Caps[] = {64, 512, 4096, 32768};
+  for (const Input &In : makeAllInputs(Env.Scale)) {
+    for (KernelKind Kind :
+         {KernelKind::BfsWl, KernelKind::SsspNf, KernelKind::Cc}) {
+      std::vector<std::string> Cells{kernelName(Kind), In.Name};
+      for (int Cap : Caps) {
+        KernelConfig Cfg = KernelConfig::allOptimizations(*TS, Env.NumTasks);
+        Cfg.NpBufferCapacity = Cap;
+        double Ms = timeKernel(Kind, Target, In, Cfg, Env.Reps,
+                               Env.Verify && Cap == Caps[0]);
+        Cells.push_back(Table::fmt(Ms) + " ms");
+      }
+      T.addRow(std::move(Cells));
+    }
+  }
+  T.print();
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===- bench/bench_table5_atomics.cpp - Table V: cooperative conversion ---===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+// Reproduces Table V: atomic worklist pushes, unoptimized vs task-level
+// Cooperative Conversion vs fiber-level CC (applicable to bfs-cx/bfs-hb
+// only). NP is always enabled alongside CC, as in the paper ("we always
+// enable nested parallelism since it increases the number of active program
+// instances").
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace egacs;
+using namespace egacs::bench;
+using namespace egacs::simd;
+
+namespace {
+
+std::uint64_t countPushAtomics(KernelKind Kind, TargetKind Target,
+                               const Input &In, const KernelConfig &Cfg) {
+  statsReset();
+  runKernel(Kind, Target, graphFor(In, Kind), Cfg, In.Source);
+  return statGet(Stat::AtomicPushes);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchEnv Env(Argc, Argv);
+  banner("Table V - atomic worklist pushes under Cooperative Conversion",
+         Env);
+  Input In = makeInput("road", Env.Scale);
+  TargetKind Target = bestTarget();
+  auto TS = Env.makeTs();
+
+  Table T({"kernel", "unopt atomics", "task-CC", "reduction", "fiber-CC",
+           "total reduction"});
+  const KernelKind Kernels[] = {KernelKind::BfsWl, KernelKind::BfsCx,
+                                KernelKind::BfsHb, KernelKind::SsspNf,
+                                KernelKind::Cc,    KernelKind::Mis};
+  for (KernelKind Kind : Kernels) {
+    KernelConfig Unopt = KernelConfig::unoptimized(*TS, Env.NumTasks);
+    Unopt.IterationOutlining = true;
+    std::uint64_t Naive = countPushAtomics(Kind, Target, In, Unopt);
+
+    KernelConfig Cc = Unopt;
+    Cc.NestedParallelism = true;
+    Cc.CoopConversion = true;
+    std::uint64_t TaskCc = countPushAtomics(Kind, Target, In, Cc);
+
+    // Fibers enable fiber-level aggregation only in bfs-cx / bfs-hb.
+    KernelConfig Fib = Cc;
+    Fib.Fibers = true;
+    std::uint64_t FiberCc = countPushAtomics(Kind, Target, In, Fib);
+
+    bool FiberApplies =
+        Kind == KernelKind::BfsCx || Kind == KernelKind::BfsHb;
+    T.addRow({kernelName(Kind), Table::fmt(Naive), Table::fmt(TaskCc),
+              Table::fmtSpeedup(TaskCc ? static_cast<double>(Naive) /
+                                             static_cast<double>(TaskCc)
+                                       : 1.0),
+              FiberApplies ? Table::fmt(FiberCc) : "n/a",
+              FiberApplies && FiberCc
+                  ? Table::fmtSpeedup(static_cast<double>(Naive) /
+                                      static_cast<double>(FiberCc))
+                  : "-"});
+  }
+  T.print();
+  std::printf("\npaper shape: task-CC cuts pushes by the average active "
+              "lane count; fiber-CC (bfs-cx/bfs-hb) reaches ~1 atomic per "
+              "task per round (paper: 125x total for bfs-cx).\n");
+  return 0;
+}

@@ -1,0 +1,265 @@
+//===- baselines/graphit/GraphIt.cpp - Mini-GraphIt framework -------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/graphit/GraphIt.h"
+
+#include "kernels/Kernels.h"
+#include "simd/Atomics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace egacs;
+using namespace egacs::graphit;
+
+//===----------------------------------------------------------------------===//
+// Frontier
+//===----------------------------------------------------------------------===//
+
+Frontier::Frontier(NodeId NumNodes)
+    : N(NumNodes), Bits((static_cast<std::size_t>(NumNodes) + 63) / 64, 0) {}
+
+Frontier::Frontier(NodeId NumNodes, NodeId Single) : Frontier(NumNodes) {
+  insertSerial(Single);
+}
+
+void Frontier::clear() {
+  std::fill(Bits.begin(), Bits.end(), 0);
+  Sparse.clear();
+  Count = 0;
+}
+
+void Frontier::insertSerial(NodeId V) {
+  Bits[static_cast<std::size_t>(V) >> 6] |=
+      1ull << (static_cast<unsigned>(V) & 63);
+  Sparse.push_back(V);
+  ++Count;
+}
+
+void Frontier::rebuildSparseFromBits() {
+  Sparse.clear();
+  Sparse.reserve(static_cast<std::size_t>(Count));
+  for (std::size_t Word = 0; Word < Bits.size(); ++Word) {
+    std::uint64_t W = Bits[Word];
+    while (W) {
+      int Bit = __builtin_ctzll(W);
+      W &= W - 1;
+      Sparse.push_back(static_cast<NodeId>(Word * 64 + Bit));
+    }
+  }
+}
+
+std::int64_t Frontier::outDegreeSum(const Csr &G) const {
+  std::int64_t Sum = 0;
+  for (NodeId V : Sparse)
+    Sum += G.degree(V);
+  return Sum;
+}
+
+//===----------------------------------------------------------------------===//
+// BFS
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct BfsF {
+  std::int32_t *Dist;
+  std::int32_t NextLevel;
+
+  bool updateAtomic(NodeId, NodeId D, EdgeId) {
+    return simd::atomicCasGlobal(&Dist[D], InfDist, NextLevel);
+  }
+  bool update(NodeId, NodeId D, EdgeId) {
+    Dist[D] = NextLevel;
+    return true;
+  }
+  bool cond(NodeId D) const {
+    return __atomic_load_n(&Dist[D], __ATOMIC_RELAXED) == InfDist;
+  }
+};
+
+struct SsspF {
+  const Csr *G;
+  std::int32_t *Dist;
+  std::int32_t *RoundMark;
+  std::int32_t Round;
+
+  bool relax(NodeId S, NodeId D, EdgeId E) {
+    std::int32_t Cand = __atomic_load_n(&Dist[S], __ATOMIC_RELAXED) +
+                        G->edgeWeight()[static_cast<std::size_t>(E)];
+    if (!simd::atomicMinGlobal(&Dist[D], Cand))
+      return false;
+    return __atomic_exchange_n(&RoundMark[D], Round, __ATOMIC_RELAXED) !=
+           Round;
+  }
+  bool updateAtomic(NodeId S, NodeId D, EdgeId E) { return relax(S, D, E); }
+  bool update(NodeId S, NodeId D, EdgeId E) { return relax(S, D, E); }
+  bool cond(NodeId) const { return true; }
+};
+
+struct CcF {
+  std::int32_t *Comp;
+  std::int32_t *RoundMark;
+  std::int32_t Round;
+
+  bool relax(NodeId S, NodeId D, EdgeId) {
+    std::int32_t Label = __atomic_load_n(&Comp[S], __ATOMIC_RELAXED);
+    if (!simd::atomicMinGlobal(&Comp[D], Label))
+      return false;
+    return __atomic_exchange_n(&RoundMark[D], Round, __ATOMIC_RELAXED) !=
+           Round;
+  }
+  bool updateAtomic(NodeId S, NodeId D, EdgeId E) { return relax(S, D, E); }
+  bool update(NodeId S, NodeId D, EdgeId E) { return relax(S, D, E); }
+  bool cond(NodeId) const { return true; }
+};
+
+} // namespace
+
+std::vector<std::int32_t> egacs::graphit::graphitBfs(const GraphItContext &Ctx,
+                                                     const Csr &G,
+                                                     NodeId Source,
+                                                     const Schedule &Sched) {
+  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
+                                 InfDist);
+  if (G.numNodes() == 0)
+    return Dist;
+  Dist[static_cast<std::size_t>(Source)] = 0;
+  Frontier F(G.numNodes(), Source);
+  std::int32_t Level = 0;
+  while (!F.empty()) {
+    BfsF Apply{Dist.data(), Level + 1};
+    F = edgesetApply(Ctx, G, G, F, Sched, Apply);
+    ++Level;
+  }
+  return Dist;
+}
+
+std::vector<std::int32_t>
+egacs::graphit::graphitSssp(const GraphItContext &Ctx, const Csr &G,
+                            NodeId Source) {
+  assert(G.hasWeights() && "sssp needs edge weights");
+  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
+                                 InfDist);
+  if (G.numNodes() == 0)
+    return Dist;
+  Dist[static_cast<std::size_t>(Source)] = 0;
+  std::vector<std::int32_t> RoundMark(static_cast<std::size_t>(G.numNodes()),
+                                      -1);
+  Frontier F(G.numNodes(), Source);
+  Schedule Sched;
+  Sched.Dir = Direction::SparsePush; // GraphIt's sssp schedule is push
+  std::int32_t Round = 0;
+  while (!F.empty()) {
+    SsspF Apply{&G, Dist.data(), RoundMark.data(), Round};
+    F = edgesetApply(Ctx, G, G, F, Sched, Apply);
+    ++Round;
+  }
+  return Dist;
+}
+
+std::vector<std::int32_t>
+egacs::graphit::graphitCc(const GraphItContext &Ctx, const Csr &G) {
+  std::vector<std::int32_t> Comp(static_cast<std::size_t>(G.numNodes()));
+  std::iota(Comp.begin(), Comp.end(), 0);
+  std::vector<std::int32_t> RoundMark(static_cast<std::size_t>(G.numNodes()),
+                                      -1);
+  Frontier F(G.numNodes());
+  for (NodeId V = 0; V < G.numNodes(); ++V)
+    F.insertSerial(V);
+  std::int32_t Round = 0;
+  Schedule Sched; // hybrid
+  while (!F.empty()) {
+    CcF Apply{Comp.data(), RoundMark.data(), Round};
+    F = edgesetApply(Ctx, G, G, F, Sched, Apply);
+    ++Round;
+  }
+  return Comp;
+}
+
+std::vector<float> egacs::graphit::graphitPr(const GraphItContext &Ctx,
+                                             const Csr &G, float Damping,
+                                             float Tolerance, int MaxRounds) {
+  NodeId N = G.numNodes();
+  std::vector<float> Rank(static_cast<std::size_t>(N),
+                          N > 0 ? 1.0f / static_cast<float>(N) : 0.0f);
+  if (N == 0)
+    return Rank;
+  std::vector<float> Contrib(static_cast<std::size_t>(N), 0.0f);
+  const float Base = (1.0f - Damping) / static_cast<float>(N);
+  for (int Round = 0; Round < MaxRounds; ++Round) {
+    vertexsetApply(Ctx, N, [&](NodeId U) {
+      EdgeId Deg = G.degree(U);
+      Contrib[static_cast<std::size_t>(U)] =
+          Deg > 0 ? Rank[static_cast<std::size_t>(U)] /
+                        static_cast<float>(Deg)
+                  : 0.0f;
+    });
+    std::vector<float> TaskMax(static_cast<std::size_t>(Ctx.NumTasks), 0.0f);
+    parallelForBlocked(
+        *Ctx.TS, Ctx.NumTasks, N,
+        [&](std::int64_t Begin, std::int64_t End, int TaskIdx) {
+          float LocalMax = 0.0f;
+          for (std::int64_t D = Begin; D < End; ++D) {
+            float Sum = 0.0f;
+            for (EdgeId E = G.rowStart()[D]; E < G.rowStart()[D + 1]; ++E)
+              Sum += Contrib[static_cast<std::size_t>(
+                  G.edgeDst()[static_cast<std::size_t>(E)])];
+            float New = Base + Damping * Sum;
+            LocalMax = std::max(
+                LocalMax,
+                std::fabs(New - Rank[static_cast<std::size_t>(D)]));
+            Rank[static_cast<std::size_t>(D)] = New;
+          }
+          TaskMax[static_cast<std::size_t>(TaskIdx)] = LocalMax;
+        });
+    float MaxDiff = 0.0f;
+    for (float M : TaskMax)
+      MaxDiff = std::max(MaxDiff, M);
+    if (MaxDiff <= Tolerance)
+      break;
+  }
+  return Rank;
+}
+
+std::int64_t egacs::graphit::graphitTri(const GraphItContext &Ctx,
+                                        const Csr &GSorted) {
+  std::vector<std::int64_t> TaskCounts(
+      static_cast<std::size_t>(Ctx.NumTasks), 0);
+  parallelForBlocked(
+      *Ctx.TS, Ctx.NumTasks, GSorted.numNodes(),
+      [&](std::int64_t Begin, std::int64_t End, int TaskIdx) {
+        std::int64_t Count = 0;
+        for (std::int64_t UI = Begin; UI < End; ++UI) {
+          NodeId U = static_cast<NodeId>(UI);
+          auto Nu = GSorted.neighbors(U);
+          for (NodeId V : Nu) {
+            if (V <= U)
+              continue;
+            auto Nv = GSorted.neighbors(V);
+            std::size_t Iu = 0, Iv = 0;
+            while (Iu < Nu.size() && Iv < Nv.size()) {
+              if (Nu[Iu] < Nv[Iv]) {
+                ++Iu;
+              } else if (Nu[Iu] > Nv[Iv]) {
+                ++Iv;
+              } else {
+                Count += Nu[Iu] > V;
+                ++Iu;
+                ++Iv;
+              }
+            }
+          }
+        }
+        TaskCounts[static_cast<std::size_t>(TaskIdx)] = Count;
+      });
+  std::int64_t Total = 0;
+  for (std::int64_t C : TaskCounts)
+    Total += C;
+  return Total;
+}

@@ -1,0 +1,47 @@
+//===- baselines/ligra/Apps.h - Mini-Ligra applications ---------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five benchmarks the paper's Fig 4 / Table X share with Ligra,
+/// written against the mini-Ligra primitives: direction-optimizing BFS,
+/// Bellman-Ford SSSP, label-propagation components, PageRank, and a
+/// Luby-round MIS. Outputs match the EGACS kernels' conventions so the same
+/// oracles verify both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_BASELINES_LIGRA_APPS_H
+#define EGACS_BASELINES_LIGRA_APPS_H
+
+#include "baselines/ligra/Ligra.h"
+
+#include <vector>
+
+namespace egacs::ligra {
+
+/// Direction-optimizing BFS; returns hop distances (InfDist unreached).
+std::vector<std::int32_t> ligraBfs(const LigraContext &Ctx, const Csr &G,
+                                   NodeId Source);
+
+/// Frontier-based Bellman-Ford; returns shortest distances.
+std::vector<std::int32_t> ligraSssp(const LigraContext &Ctx, const Csr &G,
+                                    NodeId Source);
+
+/// Label-propagation connected components (min id per component).
+std::vector<std::int32_t> ligraCc(const LigraContext &Ctx, const Csr &G);
+
+/// PageRank with the same recurrence as the EGACS kernel (dense pull).
+std::vector<float> ligraPr(const LigraContext &Ctx, const Csr &G,
+                           float Damping, float Tolerance, int MaxRounds);
+
+/// Luby-round maximal independent set (MisIn/MisOut per node).
+std::vector<std::int32_t> ligraMis(const LigraContext &Ctx, const Csr &G,
+                                   std::uint64_t Seed = 0x5eed);
+
+} // namespace egacs::ligra
+
+#endif // EGACS_BASELINES_LIGRA_APPS_H

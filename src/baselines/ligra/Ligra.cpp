@@ -1,0 +1,52 @@
+//===- baselines/ligra/Ligra.cpp - Mini-Ligra framework -------------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/ligra/Ligra.h"
+
+using namespace egacs;
+using namespace egacs::ligra;
+
+void VertexSubset::toSparse() {
+  if (HasSparse)
+    return;
+  Sparse.clear();
+  Sparse.reserve(static_cast<std::size_t>(DenseCount));
+  for (NodeId I = 0; I < NumNodes; ++I)
+    if (Dense[static_cast<std::size_t>(I)])
+      Sparse.push_back(I);
+  HasSparse = true;
+}
+
+void VertexSubset::toDense() {
+  if (HasDense)
+    return;
+  Dense.assign(static_cast<std::size_t>(NumNodes), 0);
+  for (NodeId V : Sparse)
+    Dense[static_cast<std::size_t>(V)] = 1;
+  DenseCount = static_cast<std::int64_t>(Sparse.size());
+  HasDense = true;
+}
+
+std::int64_t VertexSubset::outDegreeSum(const Csr &G) const {
+  std::int64_t Sum = 0;
+  if (HasSparse) {
+    for (NodeId V : Sparse)
+      Sum += G.degree(V);
+    return Sum;
+  }
+  for (NodeId I = 0; I < NumNodes; ++I)
+    if (Dense[static_cast<std::size_t>(I)])
+      Sum += G.degree(I);
+  return Sum;
+}
+
+VertexSubset egacs::ligra::allVertices(NodeId NumNodes) {
+  std::vector<NodeId> Ids(static_cast<std::size_t>(NumNodes));
+  for (NodeId I = 0; I < NumNodes; ++I)
+    Ids[static_cast<std::size_t>(I)] = I;
+  return VertexSubset(NumNodes, std::move(Ids));
+}

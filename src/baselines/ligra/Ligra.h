@@ -1,0 +1,228 @@
+//===- baselines/ligra/Ligra.h - Mini-Ligra framework -----------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact reimplementation of the Ligra programming model (Shun &
+/// Blelloch, PPoPP 2013), the scalar multi-core baseline of the paper's
+/// Fig 4 / Table X. It provides the three Ligra primitives:
+///
+///  * VertexSubset - a frontier in sparse (id list) or dense (bitmap) form;
+///  * edgeMap      - applies an update over the out-edges of the frontier,
+///    switching between sparse push and dense pull by the |frontier| +
+///    out-degree threshold (direction optimization, the algorithmic edge
+///    the paper credits for Ligra's BFS wins on RMAT/Random);
+///  * vertexMap / vertexFilter - node-parallel application and selection.
+///
+/// Everything is scalar: the point of the baseline is multi-core without
+/// SIMD, as in the paper's comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_BASELINES_LIGRA_LIGRA_H
+#define EGACS_BASELINES_LIGRA_LIGRA_H
+
+#include "graph/Csr.h"
+#include "runtime/TaskSystem.h"
+#include "simd/Atomics.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace egacs::ligra {
+
+/// A set of vertices, stored sparse (list) and/or dense (bitmap).
+class VertexSubset {
+public:
+  /// Empty subset over \p NumNodes vertices.
+  explicit VertexSubset(NodeId NumNodes) : NumNodes(NumNodes) {}
+
+  /// Singleton subset.
+  VertexSubset(NodeId NumNodes, NodeId Single) : NumNodes(NumNodes) {
+    Sparse.push_back(Single);
+    HasSparse = true;
+  }
+
+  /// Takes a sparse id list.
+  VertexSubset(NodeId NumNodes, std::vector<NodeId> Ids)
+      : NumNodes(NumNodes), Sparse(std::move(Ids)), HasSparse(true) {}
+
+  /// Takes a dense bitmap (size NumNodes) and its population count.
+  VertexSubset(NodeId NumNodes, std::vector<std::uint8_t> Bits,
+               std::int64_t Count)
+      : NumNodes(NumNodes), Dense(std::move(Bits)), DenseCount(Count),
+        HasDense(true) {}
+
+  std::int64_t size() const {
+    return HasSparse ? static_cast<std::int64_t>(Sparse.size()) : DenseCount;
+  }
+  bool empty() const { return size() == 0; }
+  NodeId numNodes() const { return NumNodes; }
+
+  bool hasSparse() const { return HasSparse; }
+  bool hasDense() const { return HasDense; }
+  const std::vector<NodeId> &sparse() const { return Sparse; }
+  const std::vector<std::uint8_t> &dense() const { return Dense; }
+
+  /// Materializes the sparse list from the bitmap (serial compaction).
+  void toSparse();
+  /// Materializes the bitmap from the sparse list.
+  void toDense();
+
+  /// Sum of out-degrees of the members (used by the direction heuristic).
+  std::int64_t outDegreeSum(const Csr &G) const;
+
+private:
+  NodeId NumNodes;
+  std::vector<NodeId> Sparse;
+  std::vector<std::uint8_t> Dense;
+  std::int64_t DenseCount = 0;
+  bool HasSparse = false;
+  bool HasDense = false;
+};
+
+/// Execution context for the mini-Ligra primitives.
+struct LigraContext {
+  TaskSystem *TS = nullptr;
+  int NumTasks = 1;
+  /// Dense traversal when |frontier| + outDegreeSum > NumEdges / Threshold.
+  int DirectionDenominator = 20;
+};
+
+/// The Ligra edgeMap. \p F must provide:
+///   bool updateAtomic(NodeId S, NodeId D, EdgeId E); // sparse push
+///   bool update(NodeId S, NodeId D, EdgeId E);       // dense pull
+///   bool cond(NodeId D);                             // target filter
+/// Returns the subset of targets for which an update returned true.
+///
+/// Sparse mode pushes from frontier members along out-edges with atomic
+/// updates; dense mode scans all vertices and pulls along in-edges (\p GT is
+/// the transpose; pass G itself for symmetric graphs), stopping at the first
+/// successful update per target — the direction-optimizing BFS of Beamer et
+/// al. that the paper cites as fundamentally faster on low-diameter graphs.
+template <typename FT>
+VertexSubset edgeMap(const LigraContext &Ctx, const Csr &G, const Csr &GT,
+                     const VertexSubset &Frontier, FT &&F) {
+  NodeId N = G.numNodes();
+  std::int64_t Threshold =
+      static_cast<std::int64_t>(G.numEdges()) /
+      (Ctx.DirectionDenominator > 0 ? Ctx.DirectionDenominator : 20);
+
+  if (Frontier.size() + Frontier.outDegreeSum(G) > Threshold) {
+    // Dense (pull) traversal.
+    VertexSubset FrontierDense = Frontier;
+    FrontierDense.toDense();
+    const std::uint8_t *InFrontier = FrontierDense.dense().data();
+    std::vector<std::uint8_t> OutBits(static_cast<std::size_t>(N), 0);
+    std::vector<std::int64_t> TaskCounts(
+        static_cast<std::size_t>(Ctx.NumTasks), 0);
+    parallelForBlocked(
+        *Ctx.TS, Ctx.NumTasks, N,
+        [&](std::int64_t Begin, std::int64_t End, int TaskIdx) {
+          std::int64_t Count = 0;
+          for (NodeId D = static_cast<NodeId>(Begin);
+               D < static_cast<NodeId>(End); ++D) {
+            if (!F.cond(D))
+              continue;
+            for (EdgeId E = GT.rowStart()[D]; E < GT.rowStart()[D + 1]; ++E) {
+              NodeId S = GT.edgeDst()[static_cast<std::size_t>(E)];
+              if (!InFrontier[static_cast<std::size_t>(S)])
+                continue;
+              if (F.update(S, D, E)) {
+                OutBits[static_cast<std::size_t>(D)] = 1;
+                ++Count;
+              }
+              if (!F.cond(D))
+                break; // target satisfied; stop pulling
+            }
+          }
+          TaskCounts[static_cast<std::size_t>(TaskIdx)] = Count;
+        });
+    std::int64_t Total = 0;
+    for (std::int64_t C : TaskCounts)
+      Total += C;
+    return VertexSubset(N, std::move(OutBits), Total);
+  }
+
+  // Sparse (push) traversal.
+  VertexSubset FrontierSparse = Frontier;
+  FrontierSparse.toSparse();
+  const std::vector<NodeId> &Members = FrontierSparse.sparse();
+  std::vector<std::vector<NodeId>> TaskOut(
+      static_cast<std::size_t>(Ctx.NumTasks));
+  parallelForBlocked(
+      *Ctx.TS, Ctx.NumTasks, static_cast<std::int64_t>(Members.size()),
+      [&](std::int64_t Begin, std::int64_t End, int TaskIdx) {
+        std::vector<NodeId> &Out = TaskOut[static_cast<std::size_t>(TaskIdx)];
+        for (std::int64_t I = Begin; I < End; ++I) {
+          NodeId S = Members[static_cast<std::size_t>(I)];
+          for (EdgeId E = G.rowStart()[S]; E < G.rowStart()[S + 1]; ++E) {
+            NodeId D = G.edgeDst()[static_cast<std::size_t>(E)];
+            if (F.cond(D) && F.updateAtomic(S, D, E))
+              Out.push_back(D);
+          }
+        }
+      });
+  std::vector<NodeId> Merged;
+  for (auto &Out : TaskOut)
+    Merged.insert(Merged.end(), Out.begin(), Out.end());
+  return VertexSubset(N, std::move(Merged));
+}
+
+/// Applies Fn(NodeId) to every member of the subset in parallel.
+template <typename FnT>
+void vertexMap(const LigraContext &Ctx, const VertexSubset &Subset,
+               FnT &&Fn) {
+  if (Subset.hasSparse()) {
+    const std::vector<NodeId> &Members = Subset.sparse();
+    parallelForBlocked(*Ctx.TS, Ctx.NumTasks,
+                       static_cast<std::int64_t>(Members.size()),
+                       [&](std::int64_t Begin, std::int64_t End, int) {
+                         for (std::int64_t I = Begin; I < End; ++I)
+                           Fn(Members[static_cast<std::size_t>(I)]);
+                       });
+    return;
+  }
+  const std::vector<std::uint8_t> &Bits = Subset.dense();
+  parallelForBlocked(*Ctx.TS, Ctx.NumTasks, Subset.numNodes(),
+                     [&](std::int64_t Begin, std::int64_t End, int) {
+                       for (std::int64_t I = Begin; I < End; ++I)
+                         if (Bits[static_cast<std::size_t>(I)])
+                           Fn(static_cast<NodeId>(I));
+                     });
+}
+
+/// Returns the members of \p Subset for which Pred(NodeId) holds.
+template <typename PredT>
+VertexSubset vertexFilter(const LigraContext &Ctx, const VertexSubset &Subset,
+                          PredT &&Pred) {
+  VertexSubset SparseIn = Subset;
+  SparseIn.toSparse();
+  const std::vector<NodeId> &Members = SparseIn.sparse();
+  std::vector<std::vector<NodeId>> TaskOut(
+      static_cast<std::size_t>(Ctx.NumTasks));
+  parallelForBlocked(*Ctx.TS, Ctx.NumTasks,
+                     static_cast<std::int64_t>(Members.size()),
+                     [&](std::int64_t Begin, std::int64_t End, int TaskIdx) {
+                       auto &Out = TaskOut[static_cast<std::size_t>(TaskIdx)];
+                       for (std::int64_t I = Begin; I < End; ++I) {
+                         NodeId V = Members[static_cast<std::size_t>(I)];
+                         if (Pred(V))
+                           Out.push_back(V);
+                       }
+                     });
+  std::vector<NodeId> Merged;
+  for (auto &Out : TaskOut)
+    Merged.insert(Merged.end(), Out.begin(), Out.end());
+  return VertexSubset(Subset.numNodes(), std::move(Merged));
+}
+
+/// A subset containing every vertex.
+VertexSubset allVertices(NodeId NumNodes);
+
+} // namespace egacs::ligra
+
+#endif // EGACS_BASELINES_LIGRA_LIGRA_H

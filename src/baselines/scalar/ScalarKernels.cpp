@@ -1,0 +1,421 @@
+//===- baselines/scalar/ScalarKernels.cpp - Scalar parallel baseline ------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/scalar/ScalarKernels.h"
+
+#include "kernels/KernelUtil.h"
+#include "kernels/Mis.h"
+#include "simd/Atomics.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+using namespace egacs;
+using namespace egacs::scalar;
+
+namespace {
+
+/// Per-task output frontiers merged into one list after the launch.
+class TaskFrontiers {
+public:
+  explicit TaskFrontiers(int NumTasks)
+      : Buffers(static_cast<std::size_t>(NumTasks)) {}
+
+  std::vector<NodeId> &buffer(int TaskIdx) {
+    return Buffers[static_cast<std::size_t>(TaskIdx)];
+  }
+
+  std::vector<NodeId> merge() {
+    std::vector<NodeId> Out;
+    std::size_t Total = 0;
+    for (const auto &B : Buffers)
+      Total += B.size();
+    Out.reserve(Total);
+    for (auto &B : Buffers) {
+      Out.insert(Out.end(), B.begin(), B.end());
+      B.clear();
+    }
+    return Out;
+  }
+
+private:
+  std::vector<std::vector<NodeId>> Buffers;
+};
+
+} // namespace
+
+std::vector<std::int32_t> egacs::scalar::scalarBfs(const ScalarContext &Ctx,
+                                                   const Csr &G,
+                                                   NodeId Source) {
+  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
+                                 InfDist);
+  if (G.numNodes() == 0)
+    return Dist;
+  Dist[static_cast<std::size_t>(Source)] = 0;
+  std::vector<NodeId> Frontier{Source};
+  TaskFrontiers Next(Ctx.NumTasks);
+  std::int32_t Level = 0;
+  while (!Frontier.empty()) {
+    std::int32_t NextLevel = Level + 1;
+    parallelForBlocked(
+        *Ctx.TS, Ctx.NumTasks, static_cast<std::int64_t>(Frontier.size()),
+        [&](std::int64_t Begin, std::int64_t End, int TaskIdx) {
+          std::vector<NodeId> &Out = Next.buffer(TaskIdx);
+          for (std::int64_t I = Begin; I < End; ++I) {
+            NodeId U = Frontier[static_cast<std::size_t>(I)];
+            for (NodeId V : G.neighbors(U))
+              if (simd::atomicMinGlobal(&Dist[static_cast<std::size_t>(V)],
+                                        NextLevel))
+                Out.push_back(V);
+          }
+        });
+    Frontier = Next.merge();
+    ++Level;
+  }
+  return Dist;
+}
+
+std::vector<std::int32_t> egacs::scalar::scalarSssp(const ScalarContext &Ctx,
+                                                    const Csr &G,
+                                                    NodeId Source,
+                                                    std::int32_t Delta) {
+  assert(G.hasWeights() && "sssp needs edge weights");
+  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
+                                 InfDist);
+  if (G.numNodes() == 0)
+    return Dist;
+  Dist[static_cast<std::size_t>(Source)] = 0;
+  std::vector<NodeId> Near{Source};
+  std::vector<NodeId> Far;
+  TaskFrontiers NearNext(Ctx.NumTasks), FarNext(Ctx.NumTasks);
+  std::int32_t Threshold = Delta;
+
+  while (!Near.empty() || !Far.empty()) {
+    if (Near.empty()) {
+      std::int32_t OldThreshold = Threshold;
+      Threshold += Delta;
+      std::vector<NodeId> StillFar;
+      for (NodeId V : Far) {
+        std::int32_t D = Dist[static_cast<std::size_t>(V)];
+        if (D < OldThreshold)
+          continue;
+        if (D < Threshold)
+          Near.push_back(V);
+        else
+          StillFar.push_back(V);
+      }
+      Far = std::move(StillFar);
+      continue;
+    }
+    parallelForBlocked(
+        *Ctx.TS, Ctx.NumTasks, static_cast<std::int64_t>(Near.size()),
+        [&](std::int64_t Begin, std::int64_t End, int TaskIdx) {
+          std::vector<NodeId> &OutNear = NearNext.buffer(TaskIdx);
+          std::vector<NodeId> &OutFar = FarNext.buffer(TaskIdx);
+          for (std::int64_t I = Begin; I < End; ++I) {
+            NodeId U = Near[static_cast<std::size_t>(I)];
+            std::int32_t Du = __atomic_load_n(
+                &Dist[static_cast<std::size_t>(U)], __ATOMIC_RELAXED);
+            auto Neighbors = G.neighbors(U);
+            auto Weights = G.weights(U);
+            for (std::size_t EI = 0; EI < Neighbors.size(); ++EI) {
+              NodeId V = Neighbors[EI];
+              std::int32_t Cand = Du + Weights[EI];
+              if (simd::atomicMinGlobal(&Dist[static_cast<std::size_t>(V)],
+                                        Cand)) {
+                if (Cand < Threshold)
+                  OutNear.push_back(V);
+                else
+                  OutFar.push_back(V);
+              }
+            }
+          }
+        });
+    Near = NearNext.merge();
+    std::vector<NodeId> NewFar = FarNext.merge();
+    Far.insert(Far.end(), NewFar.begin(), NewFar.end());
+  }
+  return Dist;
+}
+
+std::vector<std::int32_t> egacs::scalar::scalarCc(const ScalarContext &Ctx,
+                                                  const Csr &G) {
+  std::vector<std::int32_t> Comp(static_cast<std::size_t>(G.numNodes()));
+  std::iota(Comp.begin(), Comp.end(), 0);
+  std::vector<NodeId> Frontier(static_cast<std::size_t>(G.numNodes()));
+  std::iota(Frontier.begin(), Frontier.end(), 0);
+  TaskFrontiers Next(Ctx.NumTasks);
+  while (!Frontier.empty()) {
+    parallelForBlocked(
+        *Ctx.TS, Ctx.NumTasks, static_cast<std::int64_t>(Frontier.size()),
+        [&](std::int64_t Begin, std::int64_t End, int TaskIdx) {
+          std::vector<NodeId> &Out = Next.buffer(TaskIdx);
+          for (std::int64_t I = Begin; I < End; ++I) {
+            NodeId U = Frontier[static_cast<std::size_t>(I)];
+            std::int32_t Label = __atomic_load_n(
+                &Comp[static_cast<std::size_t>(U)], __ATOMIC_RELAXED);
+            for (NodeId V : G.neighbors(U))
+              if (simd::atomicMinGlobal(&Comp[static_cast<std::size_t>(V)],
+                                        Label))
+                Out.push_back(V);
+          }
+        });
+    Frontier = Next.merge();
+  }
+  return Comp;
+}
+
+std::int64_t egacs::scalar::scalarTri(const ScalarContext &Ctx,
+                                      const Csr &G) {
+  std::vector<std::int64_t> TaskCounts(
+      static_cast<std::size_t>(Ctx.NumTasks), 0);
+  parallelForBlocked(
+      *Ctx.TS, Ctx.NumTasks, G.numNodes(),
+      [&](std::int64_t Begin, std::int64_t End, int TaskIdx) {
+        std::int64_t Count = 0;
+        for (std::int64_t UI = Begin; UI < End; ++UI) {
+          NodeId U = static_cast<NodeId>(UI);
+          auto Nu = G.neighbors(U);
+          for (NodeId V : Nu) {
+            if (V <= U)
+              continue;
+            auto Nv = G.neighbors(V);
+            std::size_t Iu = 0, Iv = 0;
+            while (Iu < Nu.size() && Iv < Nv.size()) {
+              if (Nu[Iu] < Nv[Iv]) {
+                ++Iu;
+              } else if (Nu[Iu] > Nv[Iv]) {
+                ++Iv;
+              } else {
+                Count += Nu[Iu] > V;
+                ++Iu;
+                ++Iv;
+              }
+            }
+          }
+        }
+        TaskCounts[static_cast<std::size_t>(TaskIdx)] = Count;
+      });
+  std::int64_t Total = 0;
+  for (std::int64_t C : TaskCounts)
+    Total += C;
+  return Total;
+}
+
+std::vector<std::int32_t> egacs::scalar::scalarMis(const ScalarContext &Ctx,
+                                                   const Csr &G,
+                                                   std::uint64_t Seed) {
+  NodeId N = G.numNodes();
+  std::vector<std::int32_t> State(static_cast<std::size_t>(N), MisUndecided);
+  if (N == 0)
+    return State;
+  std::vector<std::int32_t> Prio(static_cast<std::size_t>(N));
+  for (NodeId I = 0; I < N; ++I)
+    Prio[static_cast<std::size_t>(I)] = static_cast<std::int32_t>(
+        hashMix64(Seed ^ static_cast<std::uint64_t>(I)) & 0x7fffffff);
+  auto Beats = [&](NodeId A, NodeId B) {
+    return Prio[static_cast<std::size_t>(A)] >
+               Prio[static_cast<std::size_t>(B)] ||
+           (Prio[static_cast<std::size_t>(A)] ==
+                Prio[static_cast<std::size_t>(B)] &&
+            A > B);
+  };
+
+  std::vector<NodeId> Undecided(static_cast<std::size_t>(N));
+  std::iota(Undecided.begin(), Undecided.end(), 0);
+  TaskFrontiers Next(Ctx.NumTasks);
+  while (!Undecided.empty()) {
+    parallelForBlocked(
+        *Ctx.TS, Ctx.NumTasks, static_cast<std::int64_t>(Undecided.size()),
+        [&](std::int64_t Begin, std::int64_t End, int) {
+          for (std::int64_t I = Begin; I < End; ++I) {
+            NodeId U = Undecided[static_cast<std::size_t>(I)];
+            bool Blocked = false;
+            for (NodeId V : G.neighbors(U)) {
+              if (V != U &&
+                  State[static_cast<std::size_t>(V)] != MisOut &&
+                  Beats(V, U)) {
+                Blocked = true;
+                break;
+              }
+            }
+            if (!Blocked)
+              State[static_cast<std::size_t>(U)] = MisIn;
+          }
+        });
+    parallelForBlocked(
+        *Ctx.TS, Ctx.NumTasks, static_cast<std::int64_t>(Undecided.size()),
+        [&](std::int64_t Begin, std::int64_t End, int TaskIdx) {
+          std::vector<NodeId> &Out = Next.buffer(TaskIdx);
+          for (std::int64_t I = Begin; I < End; ++I) {
+            NodeId U = Undecided[static_cast<std::size_t>(I)];
+            std::int32_t &S = State[static_cast<std::size_t>(U)];
+            if (S != MisUndecided)
+              continue;
+            for (NodeId V : G.neighbors(U)) {
+              if (State[static_cast<std::size_t>(V)] == MisIn) {
+                S = MisOut;
+                break;
+              }
+            }
+            if (S == MisUndecided)
+              Out.push_back(U);
+          }
+        });
+    Undecided = Next.merge();
+  }
+  return State;
+}
+
+std::vector<float> egacs::scalar::scalarPr(const ScalarContext &Ctx,
+                                           const Csr &G, float Damping,
+                                           float Tolerance, int MaxRounds) {
+  NodeId N = G.numNodes();
+  std::vector<float> Rank(static_cast<std::size_t>(N),
+                          N > 0 ? 1.0f / static_cast<float>(N) : 0.0f);
+  if (N == 0)
+    return Rank;
+  std::vector<float> Accum(static_cast<std::size_t>(N), 0.0f);
+  const float Base = (1.0f - Damping) / static_cast<float>(N);
+
+  for (int Round = 0; Round < MaxRounds; ++Round) {
+    parallelForBlocked(*Ctx.TS, Ctx.NumTasks, N,
+                       [&](std::int64_t Begin, std::int64_t End, int) {
+                         for (std::int64_t U = Begin; U < End; ++U) {
+                           EdgeId Deg = G.degree(static_cast<NodeId>(U));
+                           if (Deg == 0)
+                             continue;
+                           float C = Rank[static_cast<std::size_t>(U)] /
+                                     static_cast<float>(Deg);
+                           for (NodeId V :
+                                G.neighbors(static_cast<NodeId>(U)))
+                             simd::atomicAddGlobalF(
+                                 &Accum[static_cast<std::size_t>(V)], C);
+                         }
+                       });
+    std::vector<float> TaskMax(static_cast<std::size_t>(Ctx.NumTasks), 0.0f);
+    parallelForBlocked(
+        *Ctx.TS, Ctx.NumTasks, N,
+        [&](std::int64_t Begin, std::int64_t End, int TaskIdx) {
+          float LocalMax = 0.0f;
+          for (std::int64_t U = Begin; U < End; ++U) {
+            float New = Base + Damping * Accum[static_cast<std::size_t>(U)];
+            LocalMax = std::max(
+                LocalMax,
+                std::fabs(New - Rank[static_cast<std::size_t>(U)]));
+            Rank[static_cast<std::size_t>(U)] = New;
+            Accum[static_cast<std::size_t>(U)] = 0.0f;
+          }
+          TaskMax[static_cast<std::size_t>(TaskIdx)] = LocalMax;
+        });
+    float MaxDiff = 0.0f;
+    for (float M : TaskMax)
+      MaxDiff = std::max(MaxDiff, M);
+    if (MaxDiff <= Tolerance)
+      break;
+  }
+  return Rank;
+}
+
+void egacs::scalar::scalarMst(const ScalarContext &Ctx, const Csr &G,
+                              std::int64_t &TotalWeight,
+                              std::int64_t &NumEdges) {
+  TotalWeight = 0;
+  NumEdges = 0;
+  NodeId N = G.numNodes();
+  if (N == 0)
+    return;
+  std::vector<NodeId> EdgeSrc(static_cast<std::size_t>(G.numEdges()));
+  for (NodeId U = 0; U < N; ++U)
+    for (EdgeId E = G.rowStart()[U]; E < G.rowStart()[U + 1]; ++E)
+      EdgeSrc[static_cast<std::size_t>(E)] = U;
+
+  std::vector<std::int32_t> Parent(static_cast<std::size_t>(N));
+  std::iota(Parent.begin(), Parent.end(), 0);
+  constexpr std::int64_t NoEdge = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> Best(static_cast<std::size_t>(N), NoEdge);
+
+  auto Root = [&](NodeId X) {
+    while (Parent[static_cast<std::size_t>(X)] != X)
+      X = Parent[static_cast<std::size_t>(X)];
+    return X;
+  };
+
+  for (;;) {
+    parallelForBlocked(*Ctx.TS, Ctx.NumTasks, N,
+                       [&](std::int64_t Begin, std::int64_t End, int) {
+                         for (std::int64_t I = Begin; I < End; ++I)
+                           Best[static_cast<std::size_t>(I)] = NoEdge;
+                       });
+    parallelForBlocked(
+        *Ctx.TS, Ctx.NumTasks, G.numEdges(),
+        [&](std::int64_t Begin, std::int64_t End, int) {
+          for (std::int64_t E = Begin; E < End; ++E) {
+            NodeId Cu = Root(EdgeSrc[static_cast<std::size_t>(E)]);
+            NodeId Cv = Root(G.edgeDst()[static_cast<std::size_t>(E)]);
+            if (Cu == Cv)
+              continue;
+            std::int64_t Packed =
+                (static_cast<std::int64_t>(
+                     G.edgeWeight()[static_cast<std::size_t>(E)])
+                 << 32) |
+                E;
+            simd::atomicMinGlobal64(&Best[static_cast<std::size_t>(Cu)],
+                                    Packed);
+            simd::atomicMinGlobal64(&Best[static_cast<std::size_t>(Cv)],
+                                    Packed);
+          }
+        });
+    std::int32_t Hooked = 0;
+    std::int64_t RoundWeight = 0;
+    parallelForBlocked(
+        *Ctx.TS, Ctx.NumTasks, N,
+        [&](std::int64_t Begin, std::int64_t End, int) {
+          std::int32_t LocalHooks = 0;
+          std::int64_t LocalWeight = 0;
+          for (std::int64_t C = Begin; C < End; ++C) {
+            std::int64_t Packed = Best[static_cast<std::size_t>(C)];
+            if (Packed == NoEdge ||
+                Parent[static_cast<std::size_t>(C)] !=
+                    static_cast<NodeId>(C))
+              continue;
+            EdgeId E = static_cast<EdgeId>(Packed & 0xffffffffll);
+            NodeId Cu = Root(EdgeSrc[static_cast<std::size_t>(E)]);
+            NodeId Cv = Root(G.edgeDst()[static_cast<std::size_t>(E)]);
+            if (Cu == Cv)
+              continue;
+            NodeId Other = static_cast<NodeId>(C) == Cu ? Cv : Cu;
+            if (Best[static_cast<std::size_t>(Other)] == Packed &&
+                static_cast<NodeId>(C) > Other)
+              continue;
+            if (simd::atomicCasGlobal(&Parent[static_cast<std::size_t>(C)],
+                                      static_cast<NodeId>(C), Other)) {
+              ++LocalHooks;
+              LocalWeight += static_cast<Weight>(Packed >> 32);
+            }
+          }
+          if (LocalHooks) {
+            simd::atomicAddGlobal(&Hooked, LocalHooks);
+            simd::atomicAddGlobal64(&RoundWeight, LocalWeight);
+          }
+        });
+    if (Hooked == 0)
+      break;
+    TotalWeight += RoundWeight;
+    NumEdges += Hooked;
+    parallelForBlocked(*Ctx.TS, Ctx.NumTasks, N,
+                       [&](std::int64_t Begin, std::int64_t End, int) {
+                         for (std::int64_t I = Begin; I < End; ++I) {
+                           NodeId R = Root(static_cast<NodeId>(I));
+                           Parent[static_cast<std::size_t>(I)] = R;
+                         }
+                       });
+  }
+}

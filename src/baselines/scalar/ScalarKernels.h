@@ -1,0 +1,64 @@
+//===- baselines/scalar/ScalarKernels.h - Scalar parallel baseline -*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-optimized scalar multi-core implementations of all ten benchmarks —
+/// the stand-in for the compiled-scalar frameworks (GraphIt, Galois) in the
+/// paper's Fig 4 / Table X comparison. No SIMD anywhere: plain loops,
+/// per-task frontier buffers, hardware scalar atomics. Algorithms mirror
+/// the EGACS kernels (same worklist BFS, near-far SSSP, label-prop CC,
+/// Luby MIS, push PR, Bořůvka MST) so differences measure execution
+/// strategy, not algorithm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_BASELINES_SCALAR_SCALARKERNELS_H
+#define EGACS_BASELINES_SCALAR_SCALARKERNELS_H
+
+#include "graph/Csr.h"
+#include "runtime/TaskSystem.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace egacs::scalar {
+
+/// Execution context for the scalar baseline.
+struct ScalarContext {
+  TaskSystem *TS = nullptr;
+  int NumTasks = 1;
+};
+
+/// Worklist BFS; hop distances (InfDist unreached).
+std::vector<std::int32_t> scalarBfs(const ScalarContext &Ctx, const Csr &G,
+                                    NodeId Source);
+
+/// Near-far SSSP with bucket width \p Delta.
+std::vector<std::int32_t> scalarSssp(const ScalarContext &Ctx, const Csr &G,
+                                     NodeId Source, std::int32_t Delta);
+
+/// Label-propagation connected components (min id per component).
+std::vector<std::int32_t> scalarCc(const ScalarContext &Ctx, const Csr &G);
+
+/// Triangle count; \p G must have destination-sorted adjacency.
+std::int64_t scalarTri(const ScalarContext &Ctx, const Csr &G);
+
+/// Luby maximal independent set (MisIn/MisOut per node).
+std::vector<std::int32_t> scalarMis(const ScalarContext &Ctx, const Csr &G,
+                                    std::uint64_t Seed = 0x5eed);
+
+/// Push-style PageRank with the EGACS recurrence.
+std::vector<float> scalarPr(const ScalarContext &Ctx, const Csr &G,
+                            float Damping, float Tolerance, int MaxRounds);
+
+/// Bořůvka minimum spanning forest; returns {weight, edges}.
+void scalarMst(const ScalarContext &Ctx, const Csr &G,
+               std::int64_t &TotalWeight, std::int64_t &NumEdges);
+
+} // namespace egacs::scalar
+
+#endif // EGACS_BASELINES_SCALAR_SCALARKERNELS_H

@@ -1,0 +1,186 @@
+//===- graph/Generators.cpp - Synthetic input graphs ----------------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Generators.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace egacs;
+
+Csr egacs::roadGraph(int Width, int Height, double DiagonalFraction,
+                     std::uint64_t Seed) {
+  assert(Width > 0 && Height > 0 && "grid must be non-empty");
+  Xoshiro256 Rng(Seed);
+  NodeId NumNodes = static_cast<NodeId>(Width) * Height;
+  std::vector<RawEdge> Edges;
+  Edges.reserve(static_cast<std::size_t>(NumNodes) * 2 + 16);
+
+  auto Id = [Width](int X, int Y) {
+    return static_cast<NodeId>(Y) * Width + X;
+  };
+  auto RoadWeight = [&Rng] {
+    return static_cast<Weight>(1 + Rng.nextBounded(1000));
+  };
+
+  for (int Y = 0; Y < Height; ++Y) {
+    for (int X = 0; X < Width; ++X) {
+      if (X + 1 < Width)
+        Edges.push_back({Id(X, Y), Id(X + 1, Y), RoadWeight()});
+      if (Y + 1 < Height)
+        Edges.push_back({Id(X, Y), Id(X, Y + 1), RoadWeight()});
+      // Occasional diagonal "shortcut" roads keep the degree distribution
+      // from being perfectly regular, like real road networks.
+      if (X + 1 < Width && Y + 1 < Height &&
+          Rng.nextDouble() < DiagonalFraction)
+        Edges.push_back({Id(X, Y), Id(X + 1, Y + 1), RoadWeight()});
+    }
+  }
+  BuildOptions Opts;
+  Opts.Symmetrize = true;
+  return buildCsr(NumNodes, std::move(Edges), Opts);
+}
+
+Csr egacs::rmatGraph(int Scale, int EdgeFactor, std::uint64_t Seed, double A,
+                     double B, double C) {
+  assert(Scale >= 1 && Scale < 31 && "unsupported RMAT scale");
+  Xoshiro256 Rng(Seed);
+  NodeId NumNodes = static_cast<NodeId>(1) << Scale;
+  std::int64_t NumArcs = static_cast<std::int64_t>(EdgeFactor) * NumNodes;
+  std::vector<RawEdge> Edges;
+  Edges.reserve(static_cast<std::size_t>(NumArcs));
+
+  for (std::int64_t I = 0; I < NumArcs; ++I) {
+    NodeId Src = 0, Dst = 0;
+    for (int Bit = 0; Bit < Scale; ++Bit) {
+      double R = Rng.nextDouble();
+      // Quadrant selection with slight parameter noise, as in Graph500, to
+      // avoid exactly self-similar artifacts.
+      double An = A * (0.95 + 0.1 * Rng.nextDouble());
+      double Bn = B * (0.95 + 0.1 * Rng.nextDouble());
+      double Cn = C * (0.95 + 0.1 * Rng.nextDouble());
+      double Norm = An + Bn + Cn +
+                    (1.0 - A - B - C) * (0.95 + 0.1 * Rng.nextDouble());
+      R *= Norm;
+      if (R < An) {
+        // top-left: no bits set
+      } else if (R < An + Bn) {
+        Dst |= 1 << Bit;
+      } else if (R < An + Bn + Cn) {
+        Src |= 1 << Bit;
+      } else {
+        Src |= 1 << Bit;
+        Dst |= 1 << Bit;
+      }
+    }
+    Edges.push_back(
+        {Src, Dst, static_cast<Weight>(1 + Rng.nextBounded(255))});
+  }
+  BuildOptions Opts;
+  Opts.Symmetrize = true;
+  Opts.DropSelfLoops = true;
+  Opts.Dedupe = true;
+  return buildCsr(NumNodes, std::move(Edges), Opts);
+}
+
+Csr egacs::uniformRandomGraph(NodeId NumNodes, int Degree,
+                              std::uint64_t Seed) {
+  assert(NumNodes > 1 && "graph must have at least two nodes");
+  Xoshiro256 Rng(Seed);
+  std::int64_t NumArcs = static_cast<std::int64_t>(Degree) * NumNodes;
+  std::vector<RawEdge> Edges;
+  Edges.reserve(static_cast<std::size_t>(NumArcs));
+  for (std::int64_t I = 0; I < NumArcs; ++I) {
+    NodeId Src = static_cast<NodeId>(Rng.nextBounded(NumNodes));
+    NodeId Dst = static_cast<NodeId>(Rng.nextBounded(NumNodes));
+    Edges.push_back(
+        {Src, Dst, static_cast<Weight>(1 + Rng.nextBounded(255))});
+  }
+  BuildOptions Opts;
+  Opts.Symmetrize = true;
+  Opts.DropSelfLoops = true;
+  Opts.Dedupe = true;
+  return buildCsr(NumNodes, std::move(Edges), Opts);
+}
+
+Csr egacs::pathGraph(NodeId NumNodes, bool Weighted) {
+  std::vector<RawEdge> Edges;
+  for (NodeId N = 0; N + 1 < NumNodes; ++N)
+    Edges.push_back({N, N + 1, Weighted ? N + 1 : 1});
+  BuildOptions Opts;
+  Opts.Symmetrize = true;
+  return buildCsr(NumNodes, std::move(Edges), Opts);
+}
+
+Csr egacs::cycleGraph(NodeId NumNodes) {
+  std::vector<RawEdge> Edges;
+  for (NodeId N = 0; N < NumNodes; ++N)
+    Edges.push_back({N, static_cast<NodeId>((N + 1) % NumNodes), 1});
+  BuildOptions Opts;
+  Opts.Symmetrize = true;
+  return buildCsr(NumNodes, std::move(Edges), Opts);
+}
+
+Csr egacs::starGraph(NodeId NumLeaves) {
+  std::vector<RawEdge> Edges;
+  for (NodeId N = 1; N <= NumLeaves; ++N)
+    Edges.push_back({0, N, 1});
+  BuildOptions Opts;
+  Opts.Symmetrize = true;
+  return buildCsr(NumLeaves + 1, std::move(Edges), Opts);
+}
+
+Csr egacs::completeGraph(NodeId NumNodes) {
+  std::vector<RawEdge> Edges;
+  for (NodeId S = 0; S < NumNodes; ++S)
+    for (NodeId D = 0; D < NumNodes; ++D)
+      if (S != D)
+        Edges.push_back({S, D, 1});
+  return buildCsr(NumNodes, std::move(Edges));
+}
+
+Csr egacs::shuffleNodeIds(const Csr &G, std::uint64_t Seed) {
+  NodeId N = G.numNodes();
+  std::vector<NodeId> Perm(static_cast<std::size_t>(N));
+  for (NodeId I = 0; I < N; ++I)
+    Perm[static_cast<std::size_t>(I)] = I;
+  Xoshiro256 Rng(Seed);
+  for (NodeId I = N - 1; I > 0; --I)
+    std::swap(Perm[static_cast<std::size_t>(I)],
+              Perm[Rng.nextBounded(static_cast<std::uint64_t>(I) + 1)]);
+
+  std::vector<RawEdge> Edges;
+  Edges.reserve(static_cast<std::size_t>(G.numEdges()));
+  for (NodeId U = 0; U < N; ++U) {
+    auto Neighbors = G.neighbors(U);
+    for (std::size_t I = 0; I < Neighbors.size(); ++I) {
+      Weight W = G.hasWeights() ? G.weights(U)[I] : 0;
+      Edges.push_back({Perm[static_cast<std::size_t>(U)],
+                       Perm[static_cast<std::size_t>(Neighbors[I])], W});
+    }
+  }
+  return buildCsr(N, std::move(Edges));
+}
+
+Csr egacs::namedGraph(const std::string &Name, int Scale,
+                      std::uint64_t Seed) {
+  // Scale S roughly multiplies node count by 2^S over the smoke size.
+  if (Name == "road") {
+    int Side = 64 << (Scale / 2);
+    int OtherSide = Scale % 2 ? Side * 2 : Side;
+    return roadGraph(Side, OtherSide, 0.05, Seed);
+  }
+  if (Name == "rmat")
+    return rmatGraph(12 + Scale, /*EdgeFactor=*/8, Seed);
+  if (Name == "random")
+    return uniformRandomGraph(static_cast<NodeId>(4096) << Scale,
+                              /*Degree=*/4, Seed);
+  assert(false && "unknown graph name (use road/rmat/random)");
+  return pathGraph(2);
+}

@@ -1,0 +1,69 @@
+//===- graph/Generators.h - Synthetic input graphs --------------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-ins for the paper's three input graphs, preserving their
+/// structural class:
+///  * USA-Road (23M nodes, 46M arcs): a uniform-low-degree planar network
+///    with huge diameter -> roadGraph(), a W x H grid with random diagonal
+///    shortcuts and road-like integer weights.
+///  * RMAT22 (4M nodes, 33M arcs): a skewed scale-free graph -> rmatGraph()
+///    with the standard (0.57, 0.19, 0.19, 0.05) parameters.
+///  * Random (8M nodes, 33M arcs): a uniform-degree random graph ->
+///    uniformRandomGraph() ("r4-2e23": ~4 out-arcs per node).
+/// Sizes are scaled by the benchmark harness to fit this machine; the class
+/// of graph (degree distribution, diameter) is what the paper's effects
+/// depend on. All generators are deterministic in their seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_GRAPH_GENERATORS_H
+#define EGACS_GRAPH_GENERATORS_H
+
+#include "graph/Csr.h"
+
+#include <cstdint>
+
+namespace egacs {
+
+/// A W x H grid road network: 4-neighbor connectivity, a fraction of random
+/// "highway" diagonals, symmetric, with integer weights in [1, 1000]. Very
+/// large diameter and near-uniform degree, like USA-Road.
+Csr roadGraph(int Width, int Height, double DiagonalFraction = 0.05,
+              std::uint64_t Seed = 1);
+
+/// An RMAT graph with 2^Scale nodes and EdgeFactor * 2^Scale arcs before
+/// symmetrization; highly skewed degree distribution, like RMAT22.
+Csr rmatGraph(int Scale, int EdgeFactor = 8, std::uint64_t Seed = 2,
+              double A = 0.57, double B = 0.19, double C = 0.19);
+
+/// A uniformly random multigraph with \p NumNodes nodes and
+/// Degree * NumNodes arcs before symmetrization, like the paper's Random
+/// (r4) input.
+Csr uniformRandomGraph(NodeId NumNodes, int Degree = 4,
+                       std::uint64_t Seed = 3);
+
+/// Deterministic micro graphs for unit tests.
+Csr pathGraph(NodeId NumNodes, bool Weighted = false);
+Csr cycleGraph(NodeId NumNodes);
+Csr starGraph(NodeId NumLeaves);
+Csr completeGraph(NodeId NumNodes);
+
+/// The standard named inputs at a scale factor; Scale 0 is a tiny smoke
+/// size, Scale 20 approximates the paper's sizes (do not use on small
+/// machines). Names: "road", "rmat", "random".
+Csr namedGraph(const std::string &Name, int Scale, std::uint64_t Seed = 7);
+
+/// Relabels all nodes with a random permutation (edges and weights follow).
+/// Grid generators number nodes geographically, which gives frontier-based
+/// algorithms artificial spatial locality; real road inputs do not, so the
+/// virtual-memory experiments shuffle ids first.
+Csr shuffleNodeIds(const Csr &G, std::uint64_t Seed);
+
+} // namespace egacs
+
+#endif // EGACS_GRAPH_GENERATORS_H

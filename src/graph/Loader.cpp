@@ -1,0 +1,165 @@
+//===- graph/Loader.cpp - Graph file I/O ----------------------------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Loader.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+using namespace egacs;
+
+std::optional<Csr> egacs::loadDimacs(const std::string &Path,
+                                     bool Symmetrize) {
+  std::FILE *File = std::fopen(Path.c_str(), "r");
+  if (!File)
+    return std::nullopt;
+
+  NodeId NumNodes = 0;
+  std::vector<RawEdge> Edges;
+  char Line[256];
+  bool SawHeader = false;
+  while (std::fgets(Line, sizeof(Line), File)) {
+    if (Line[0] == 'c' || Line[0] == '\n')
+      continue;
+    if (Line[0] == 'p') {
+      long long N = 0, M = 0;
+      if (std::sscanf(Line, "p sp %lld %lld", &N, &M) != 2) {
+        std::fclose(File);
+        return std::nullopt;
+      }
+      NumNodes = static_cast<NodeId>(N);
+      Edges.reserve(static_cast<std::size_t>(M));
+      SawHeader = true;
+      continue;
+    }
+    if (Line[0] == 'a') {
+      long long Src = 0, Dst = 0, W = 0;
+      if (std::sscanf(Line, "a %lld %lld %lld", &Src, &Dst, &W) != 3) {
+        std::fclose(File);
+        return std::nullopt;
+      }
+      // DIMACS ids are 1-based.
+      Edges.push_back({static_cast<NodeId>(Src - 1),
+                       static_cast<NodeId>(Dst - 1),
+                       static_cast<Weight>(W)});
+    }
+  }
+  std::fclose(File);
+  if (!SawHeader)
+    return std::nullopt;
+  BuildOptions Opts;
+  Opts.Symmetrize = Symmetrize;
+  return buildCsr(NumNodes, std::move(Edges), Opts);
+}
+
+std::optional<Csr> egacs::loadEdgeList(const std::string &Path,
+                                       bool Symmetrize) {
+  std::FILE *File = std::fopen(Path.c_str(), "r");
+  if (!File)
+    return std::nullopt;
+
+  std::vector<RawEdge> Edges;
+  NodeId MaxNode = -1;
+  char Line[256];
+  while (std::fgets(Line, sizeof(Line), File)) {
+    if (Line[0] == '#' || Line[0] == '\n')
+      continue;
+    long long Src = 0, Dst = 0, W = 0;
+    int Fields = std::sscanf(Line, "%lld %lld %lld", &Src, &Dst, &W);
+    if (Fields < 2) {
+      std::fclose(File);
+      return std::nullopt;
+    }
+    RawEdge E{static_cast<NodeId>(Src), static_cast<NodeId>(Dst),
+              Fields == 3 ? static_cast<Weight>(W) : 0};
+    MaxNode = std::max({MaxNode, E.Src, E.Dst});
+    Edges.push_back(E);
+  }
+  std::fclose(File);
+  BuildOptions Opts;
+  Opts.Symmetrize = Symmetrize;
+  return buildCsr(MaxNode + 1, std::move(Edges), Opts);
+}
+
+namespace {
+
+constexpr char BinaryMagic[4] = {'E', 'G', 'C', 'S'};
+constexpr std::uint32_t BinaryVersion = 1;
+
+struct BinaryHeader {
+  char Magic[4];
+  std::uint32_t Version;
+  std::int32_t NumNodes;
+  std::int32_t NumEdges;
+  std::uint32_t HasWeights;
+};
+
+} // namespace
+
+bool egacs::saveBinaryCsr(const Csr &G, const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  BinaryHeader H;
+  std::memcpy(H.Magic, BinaryMagic, 4);
+  H.Version = BinaryVersion;
+  H.NumNodes = G.numNodes();
+  H.NumEdges = G.numEdges();
+  H.HasWeights = G.hasWeights();
+  bool Ok = std::fwrite(&H, sizeof(H), 1, File) == 1;
+  Ok = Ok && std::fwrite(G.rowStart(), sizeof(EdgeId),
+                         static_cast<std::size_t>(G.numNodes()) + 1,
+                         File) == static_cast<std::size_t>(G.numNodes()) + 1;
+  Ok = Ok && (G.numEdges() == 0 ||
+              std::fwrite(G.edgeDst(), sizeof(NodeId),
+                          static_cast<std::size_t>(G.numEdges()), File) ==
+                  static_cast<std::size_t>(G.numEdges()));
+  if (G.hasWeights())
+    Ok = Ok && (G.numEdges() == 0 ||
+                std::fwrite(G.edgeWeight(), sizeof(Weight),
+                            static_cast<std::size_t>(G.numEdges()), File) ==
+                    static_cast<std::size_t>(G.numEdges()));
+  std::fclose(File);
+  return Ok;
+}
+
+std::optional<Csr> egacs::loadBinaryCsr(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return std::nullopt;
+  BinaryHeader H;
+  if (std::fread(&H, sizeof(H), 1, File) != 1 ||
+      std::memcmp(H.Magic, BinaryMagic, 4) != 0 ||
+      H.Version != BinaryVersion || H.NumNodes < 0 || H.NumEdges < 0) {
+    std::fclose(File);
+    return std::nullopt;
+  }
+  AlignedBuffer<EdgeId> Rows(static_cast<std::size_t>(H.NumNodes) + 1);
+  AlignedBuffer<NodeId> Dsts(static_cast<std::size_t>(H.NumEdges));
+  AlignedBuffer<Weight> Weights;
+  bool Ok = std::fread(Rows.data(), sizeof(EdgeId), Rows.size(), File) ==
+            Rows.size();
+  Ok = Ok && (H.NumEdges == 0 ||
+              std::fread(Dsts.data(), sizeof(NodeId),
+                         static_cast<std::size_t>(H.NumEdges), File) ==
+                  static_cast<std::size_t>(H.NumEdges));
+  if (H.HasWeights) {
+    Weights.allocate(static_cast<std::size_t>(H.NumEdges));
+    Ok = Ok && (H.NumEdges == 0 ||
+                std::fread(Weights.data(), sizeof(Weight),
+                           static_cast<std::size_t>(H.NumEdges), File) ==
+                    static_cast<std::size_t>(H.NumEdges));
+  }
+  std::fclose(File);
+  if (!Ok || Rows[static_cast<std::size_t>(H.NumNodes)] != H.NumEdges)
+    return std::nullopt;
+  return Csr(H.NumNodes, std::move(Rows), std::move(Dsts),
+             std::move(Weights));
+}

@@ -1,0 +1,42 @@
+//===- graph/Loader.h - Graph file I/O --------------------------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loaders for the input formats the paper's artifact consumes: DIMACS
+/// shortest-path ".gr" files (USA-Road, OSM-EUR) and whitespace edge lists,
+/// plus a fast binary CSR container so large generated graphs can be cached
+/// between benchmark runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_GRAPH_LOADER_H
+#define EGACS_GRAPH_LOADER_H
+
+#include "graph/Csr.h"
+
+#include <optional>
+#include <string>
+
+namespace egacs {
+
+/// Loads a DIMACS ssp ".gr" file ("p sp N M" header, "a src dst w" arcs,
+/// 1-based node ids). Returns std::nullopt on open/parse failure.
+std::optional<Csr> loadDimacs(const std::string &Path,
+                              bool Symmetrize = false);
+
+/// Loads a whitespace-separated edge list: "src dst [weight]" per line,
+/// '#'-prefixed comments, 0-based ids. Node count is 1 + max id.
+std::optional<Csr> loadEdgeList(const std::string &Path,
+                                bool Symmetrize = false);
+
+/// Saves/loads the binary CSR cache format (magic "EGCS", version 1).
+bool saveBinaryCsr(const Csr &G, const std::string &Path);
+std::optional<Csr> loadBinaryCsr(const std::string &Path);
+
+} // namespace egacs
+
+#endif // EGACS_GRAPH_LOADER_H

@@ -1,0 +1,224 @@
+//===- irgl/Ast.cpp - IrGL abstract syntax --------------------------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "irgl/Ast.h"
+
+#include <cassert>
+
+using namespace egacs::irgl;
+
+//===----------------------------------------------------------------------===//
+// Expr
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Expr> Expr::makeVar(std::string Name) {
+  auto E = std::unique_ptr<Expr>(new Expr(Kind::Var));
+  E->Name = std::move(Name);
+  return E;
+}
+
+std::unique_ptr<Expr> Expr::makeInt(std::int64_t Value) {
+  auto E = std::unique_ptr<Expr>(new Expr(Kind::IntLit));
+  E->Value = Value;
+  return E;
+}
+
+std::unique_ptr<Expr> Expr::makeLoad(std::string Array,
+                                     std::unique_ptr<Expr> Index) {
+  auto E = std::unique_ptr<Expr>(new Expr(Kind::ArrayLoad));
+  E->Name = std::move(Array);
+  E->Operands.push_back(std::move(Index));
+  return E;
+}
+
+std::unique_ptr<Expr> Expr::makeBin(std::string Op, std::unique_ptr<Expr> Lhs,
+                                    std::unique_ptr<Expr> Rhs) {
+  auto E = std::unique_ptr<Expr>(new Expr(Kind::BinOp));
+  E->Op = std::move(Op);
+  E->Operands.push_back(std::move(Lhs));
+  E->Operands.push_back(std::move(Rhs));
+  return E;
+}
+
+std::unique_ptr<Expr> Expr::clone() const {
+  switch (K) {
+  case Kind::Var:
+    return makeVar(Name);
+  case Kind::IntLit:
+    return makeInt(Value);
+  case Kind::ArrayLoad:
+    return makeLoad(Name, Operands[0]->clone());
+  case Kind::BinOp:
+    return makeBin(Op, Operands[0]->clone(), Operands[1]->clone());
+  }
+  assert(false && "invalid expr kind");
+  return nullptr;
+}
+
+std::string Expr::str() const {
+  switch (K) {
+  case Kind::Var:
+    return Name;
+  case Kind::IntLit:
+    return std::to_string(Value);
+  case Kind::ArrayLoad:
+    return Name + "[" + Operands[0]->str() + "]";
+  case Kind::BinOp:
+    return "(" + Operands[0]->str() + " " + Op + " " + Operands[1]->str() +
+           ")";
+  }
+  assert(false && "invalid expr kind");
+  return "<invalid>";
+}
+
+//===----------------------------------------------------------------------===//
+// Stmt
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Stmt> Stmt::forAllNodes(std::string Var) {
+  auto S = std::unique_ptr<Stmt>(new Stmt(Kind::ForAllNodes));
+  S->Var = std::move(Var);
+  return S;
+}
+
+std::unique_ptr<Stmt> Stmt::forAllItems(std::string Var) {
+  auto S = std::unique_ptr<Stmt>(new Stmt(Kind::ForAllItems));
+  S->Var = std::move(Var);
+  return S;
+}
+
+std::unique_ptr<Stmt> Stmt::forAllEdges(std::string NodeVar,
+                                        std::string EdgeVar,
+                                        std::string DstVar) {
+  auto S = std::unique_ptr<Stmt>(new Stmt(Kind::ForAllEdges));
+  S->Var = std::move(NodeVar);
+  S->EdgeVar = std::move(EdgeVar);
+  S->DstVar = std::move(DstVar);
+  return S;
+}
+
+std::unique_ptr<Stmt> Stmt::ifStmt(std::unique_ptr<Expr> Cond) {
+  auto S = std::unique_ptr<Stmt>(new Stmt(Kind::If));
+  S->Cond = std::move(Cond);
+  return S;
+}
+
+std::unique_ptr<Stmt> Stmt::atomicMin(std::string Array,
+                                      std::unique_ptr<Expr> Index,
+                                      std::unique_ptr<Expr> Value,
+                                      std::string WonVar) {
+  auto S = std::unique_ptr<Stmt>(new Stmt(Kind::AtomicMin));
+  S->Array = std::move(Array);
+  S->Index = std::move(Index);
+  S->Value = std::move(Value);
+  S->WonVar = std::move(WonVar);
+  return S;
+}
+
+std::unique_ptr<Stmt> Stmt::arrayStore(std::string Array,
+                                       std::unique_ptr<Expr> Index,
+                                       std::unique_ptr<Expr> Value) {
+  auto S = std::unique_ptr<Stmt>(new Stmt(Kind::ArrayStore));
+  S->Array = std::move(Array);
+  S->Index = std::move(Index);
+  S->Value = std::move(Value);
+  return S;
+}
+
+std::unique_ptr<Stmt> Stmt::worklistPush(std::unique_ptr<Expr> Value) {
+  auto S = std::unique_ptr<Stmt>(new Stmt(Kind::WorklistPush));
+  S->Value = std::move(Value);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Program
+//===----------------------------------------------------------------------===//
+
+Kernel *Program::findKernel(const std::string &KernelName) {
+  for (Kernel &K : Kernels)
+    if (K.Name == KernelName)
+      return &K;
+  return nullptr;
+}
+
+namespace {
+
+void dumpStmt(const Stmt &S, int Indent, std::string &Out) {
+  std::string Pad(static_cast<std::size_t>(Indent) * 2, ' ');
+  switch (S.kind()) {
+  case Stmt::Kind::ForAllNodes:
+    Out += Pad + "ForAll(" + S.Var + " in graph.nodes) {\n";
+    break;
+  case Stmt::Kind::ForAllItems:
+    Out += Pad + "ForAll(" + S.Var + " in worklist.items) {\n";
+    break;
+  case Stmt::Kind::ForAllEdges:
+    Out += Pad + "ForAll(" + S.EdgeVar + " in graph.edges(" + S.Var +
+           "), dst " + S.DstVar + ")";
+    Out += S.Schedule == EdgeSchedule::NestedParallel ? " [schedule=np]"
+                                                      : "";
+    Out += " {\n";
+    break;
+  case Stmt::Kind::If:
+    Out += Pad + "if (" + S.Cond->str() + ") {\n";
+    break;
+  case Stmt::Kind::AtomicMin:
+    Out += Pad + S.WonVar + " = atomicMin(" + S.Array + "[" +
+           S.Index->str() + "], " + S.Value->str() + ")\n";
+    return;
+  case Stmt::Kind::ArrayStore:
+    Out += Pad + S.Array + "[" + S.Index->str() + "] = " + S.Value->str() +
+           "\n";
+    return;
+  case Stmt::Kind::WorklistPush: {
+    Out += Pad + "worklist.push(" + S.Value->str() + ")";
+    switch (S.Aggregation) {
+    case PushAggregation::None:
+      break;
+    case PushAggregation::Task:
+      Out += " [cc=task]";
+      break;
+    case PushAggregation::Fiber:
+      Out += " [cc=fiber]";
+      break;
+    }
+    Out += "\n";
+    return;
+  }
+  }
+  for (const auto &Child : S.Body)
+    dumpStmt(*Child, Indent + 1, Out);
+  Out += Pad + "}\n";
+}
+
+} // namespace
+
+std::string egacs::irgl::dumpProgram(const Program &P) {
+  std::string Out = "Program " + P.Name + "\n";
+  for (const ArrayDecl &A : P.Arrays)
+    Out += "  Array " + A.Name + " : " + A.ElemType + "\n";
+  for (const Kernel &K : P.Kernels) {
+    Out += "Kernel " + K.Name;
+    if (K.UseFibers)
+      Out += " [fibers]";
+    Out += " {\n";
+    for (const auto &S : K.Body)
+      dumpStmt(*S, 1, Out);
+    Out += "}\n";
+  }
+  for (const Pipe &Pp : P.Pipes) {
+    Out += "Pipe " + Pp.Name;
+    if (Pp.Outlined)
+      Out += " [outlined]";
+    Out += " {\n";
+    for (const std::string &Inv : Pp.Invocations)
+      Out += "  Invoke " + Inv + "\n";
+    Out += "}\n";
+  }
+  return Out;
+}

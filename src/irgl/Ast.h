@@ -1,0 +1,207 @@
+//===- irgl/Ast.h - IrGL abstract syntax ------------------------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IrGL intermediate language (Pai & Pingali, OOPSLA 2016) at the
+/// granularity this reproduction needs: kernels of graph-operator
+/// statements (vertex/worklist iteration, edge iteration, relaxations,
+/// worklist pushes) composed into iterate-until-empty Pipes. The paper's
+/// compiler consumes this representation, applies the throughput
+/// optimizations (Iteration Outlining, Nested Parallelism, Cooperative
+/// Conversion, Fibers — src/irgl/Passes.h), and emits ISPC; our backend
+/// emits C++ against the egacs SPMD library (src/irgl/CodeGen.h), which
+/// plays the role ISPC plays in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_IRGL_AST_H
+#define EGACS_IRGL_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace egacs::irgl {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// A side-effect-free scalar (per-lane) expression.
+class Expr {
+public:
+  enum class Kind {
+    Var,       ///< a loop variable or kernel parameter
+    IntLit,    ///< integer literal
+    ArrayLoad, ///< Array[Index] (compiles to a gather)
+    BinOp,     ///< Lhs Op Rhs
+  };
+
+  Kind kind() const { return K; }
+  const std::string &name() const { return Name; }
+  std::int64_t value() const { return Value; }
+  const std::string &op() const { return Op; }
+  const Expr &operand(unsigned I) const { return *Operands[I]; }
+  unsigned numOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+
+  static std::unique_ptr<Expr> makeVar(std::string Name);
+  static std::unique_ptr<Expr> makeInt(std::int64_t Value);
+  static std::unique_ptr<Expr> makeLoad(std::string Array,
+                                        std::unique_ptr<Expr> Index);
+  static std::unique_ptr<Expr> makeBin(std::string Op,
+                                       std::unique_ptr<Expr> Lhs,
+                                       std::unique_ptr<Expr> Rhs);
+
+  std::unique_ptr<Expr> clone() const;
+
+  /// Renders the expression in IrGL surface syntax (for dumps and tests).
+  std::string str() const;
+
+private:
+  explicit Expr(Kind K) : K(K) {}
+
+  Kind K;
+  std::string Name;
+  std::int64_t Value = 0;
+  std::string Op;
+  std::vector<std::unique_ptr<Expr>> Operands;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// How an edge loop is scheduled (set by the NP pass).
+enum class EdgeSchedule {
+  PerLane,        ///< every lane walks its own node's edges (Listing 3)
+  NestedParallel, ///< inspector-executor redistribution (Fig 2)
+};
+
+/// How a worklist push aggregates atomics (set by the CC/Fibers passes).
+enum class PushAggregation {
+  None,  ///< one atomic per active lane
+  Task,  ///< task-level CC: popcnt + one atomic + packed store
+  Fiber, ///< fiber-level CC: task-local buffer, one atomic per round
+};
+
+/// A statement in a kernel body.
+class Stmt {
+public:
+  enum class Kind {
+    ForAllNodes,    ///< topology-driven outer loop; Var binds the node
+    ForAllItems,    ///< worklist-driven outer loop; Var binds the item
+    ForAllEdges,    ///< inner loop over edges of Var; binds EdgeVar/DstVar
+    If,             ///< predicated block (compiles to mask refinement)
+    AtomicMin,      ///< won = atomicMin(Array[Index], Value)
+    ArrayStore,     ///< Array[Index] = Value (compiles to a scatter)
+    WorklistPush,   ///< push Value to the output worklist
+  };
+
+  Kind kind() const { return K; }
+
+  // Loop statements.
+  std::string Var;     ///< bound node/item variable
+  std::string EdgeVar; ///< ForAllEdges: edge-index variable
+  std::string DstVar;  ///< ForAllEdges: destination-node variable
+  EdgeSchedule Schedule = EdgeSchedule::PerLane;
+
+  // If/AtomicMin/ArrayStore/WorklistPush operands.
+  std::unique_ptr<Expr> Cond;  ///< If; AtomicMin: success binds WonVar
+  std::string Array;           ///< AtomicMin/ArrayStore target array
+  std::unique_ptr<Expr> Index; ///< AtomicMin/ArrayStore index
+  std::unique_ptr<Expr> Value; ///< AtomicMin/ArrayStore/WorklistPush value
+  std::string WonVar;          ///< AtomicMin: mask variable of winners
+  PushAggregation Aggregation = PushAggregation::None;
+
+  std::vector<std::unique_ptr<Stmt>> Body;
+
+  static std::unique_ptr<Stmt> forAllNodes(std::string Var);
+  static std::unique_ptr<Stmt> forAllItems(std::string Var);
+  static std::unique_ptr<Stmt> forAllEdges(std::string NodeVar,
+                                           std::string EdgeVar,
+                                           std::string DstVar);
+  static std::unique_ptr<Stmt> ifStmt(std::unique_ptr<Expr> Cond);
+  static std::unique_ptr<Stmt> atomicMin(std::string Array,
+                                         std::unique_ptr<Expr> Index,
+                                         std::unique_ptr<Expr> Value,
+                                         std::string WonVar);
+  static std::unique_ptr<Stmt> arrayStore(std::string Array,
+                                          std::unique_ptr<Expr> Index,
+                                          std::unique_ptr<Expr> Value);
+  static std::unique_ptr<Stmt> worklistPush(std::unique_ptr<Expr> Value);
+
+  /// Depth-first walk over this statement and its children.
+  template <typename FnT> void walk(FnT &&Fn) {
+    Fn(*this);
+    for (auto &Child : Body)
+      Child->walk(Fn);
+  }
+
+private:
+  explicit Stmt(Kind K) : K(K) {}
+
+  Kind K;
+};
+
+//===----------------------------------------------------------------------===//
+// Kernels, Pipes, Programs
+//===----------------------------------------------------------------------===//
+
+/// A named array the program operates on (graph arrays are implicit).
+struct ArrayDecl {
+  std::string Name;
+  std::string ElemType = "std::int32_t";
+};
+
+/// A parallel kernel.
+struct Kernel {
+  std::string Name;
+  std::vector<std::unique_ptr<Stmt>> Body;
+  /// Fibers pass: emulate thread blocks in this kernel.
+  bool UseFibers = false;
+  /// True when the kernel's push count per round is computable in advance,
+  /// making fiber-level CC applicable (paper: bfs-cx, bfs-hb).
+  bool ExactPushCount = false;
+  /// Topology-driven kernel: iterates all nodes; its pipe runs to a
+  /// fixpoint on the relaxation count instead of draining a worklist
+  /// (the paper's bfs-tp shape).
+  bool Topology = false;
+
+  /// Depth-first walk over all statements.
+  template <typename FnT> void walk(FnT &&Fn) {
+    for (auto &S : Body)
+      S->walk(Fn);
+  }
+};
+
+/// An iterate-until-worklist-empty loop of kernel invocations.
+struct Pipe {
+  std::string Name;
+  std::vector<std::string> Invocations;
+  /// Iteration Outlining pass: loop inside one launch with barriers.
+  bool Outlined = false;
+};
+
+/// A whole IrGL program.
+struct Program {
+  std::string Name;
+  std::vector<ArrayDecl> Arrays;
+  std::vector<Kernel> Kernels;
+  std::vector<Pipe> Pipes;
+
+  Kernel *findKernel(const std::string &Name);
+};
+
+/// Renders the program in IrGL-ish surface syntax for dumps and tests.
+std::string dumpProgram(const Program &P);
+
+} // namespace egacs::irgl
+
+#endif // EGACS_IRGL_AST_H

@@ -1,0 +1,298 @@
+//===- irgl/CodeGen.cpp - SPMD C++ backend --------------------------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "irgl/CodeGen.h"
+
+#include <cassert>
+#include <map>
+
+using namespace egacs::irgl;
+
+namespace {
+
+/// Emission state for one kernel body.
+class Emitter {
+public:
+  Emitter(std::string &Out, const Program &P, bool Topology)
+      : Out(Out), P(P), Topology(Topology) {}
+
+  void line(const std::string &Text) {
+    Out.append(static_cast<std::size_t>(Indent) * 2, ' ');
+    Out += Text;
+    Out += '\n';
+  }
+
+  void open(const std::string &Text) {
+    line(Text);
+    ++Indent;
+  }
+
+  void close(const std::string &Text = "}") {
+    --Indent;
+    line(Text);
+  }
+
+  /// Lowers \p E to a VInt expression under mask \p Mask.
+  std::string expr(const Expr &E, const std::string &Mask) {
+    switch (E.kind()) {
+    case Expr::Kind::Var:
+      return "V_" + E.name();
+    case Expr::Kind::IntLit:
+      return "splat<BK>(" + std::to_string(E.value()) + ")";
+    case Expr::Kind::ArrayLoad:
+      return "gather<BK>(State." + E.name() + ", " +
+             expr(E.operand(0), Mask) + ", " + Mask + ")";
+    case Expr::Kind::BinOp:
+      return "(" + expr(E.operand(0), Mask) + " " + E.op() + " " +
+             expr(E.operand(1), Mask) + ")";
+    }
+    assert(false && "invalid expr kind");
+    return "<invalid>";
+  }
+
+  /// Lowers a condition to a VMask expression under \p Mask. A Var refers
+  /// to a previously bound mask (e.g. an AtomicMin's won mask); comparisons
+  /// lower to mask-producing operators.
+  std::string cond(const Expr &E, const std::string &Mask) {
+    if (E.kind() == Expr::Kind::Var)
+      return "M_" + E.name();
+    assert(E.kind() == Expr::Kind::BinOp && "conditions are comparisons");
+    return "(" + expr(E.operand(0), Mask) + " " + E.op() + " " +
+           expr(E.operand(1), Mask) + ")";
+  }
+
+  void stmt(const Stmt &S, const std::string &Mask) {
+    switch (S.kind()) {
+    case Stmt::Kind::ForAllNodes:
+      open("forEachNodeSlice<BK>(G.numNodes(), TaskIdx, TaskCount, [&]("
+           "VInt<BK> V_" +
+           S.Var + ", VMask<BK> M_outer) {");
+      body(S, "M_outer");
+      close("});");
+      return;
+    case Stmt::Kind::ForAllItems:
+      open("forEachWorklistSlice<BK>(Cfg, In.items(), In.size(), TaskIdx, "
+           "TaskCount, [&](VInt<BK> V_" +
+           S.Var + ", VMask<BK> M_outer) {");
+      body(S, "M_outer");
+      close("});");
+      return;
+    case Stmt::Kind::ForAllEdges: {
+      // The edge body was hoisted to a kernel-scope lambda so the NP
+      // epilogue flush can replay it for staged low-degree edges.
+      std::string FnName = edgeFnName(S);
+      HasNpLoop |= S.Schedule == EdgeSchedule::NestedParallel;
+      if (S.Schedule == EdgeSchedule::NestedParallel)
+        line("npForEachEdge<BK>(G, V_" + S.Var + ", " + Mask + ", TL.Np, " +
+             FnName + ");");
+      else
+        line("plainForEachEdge<BK>(G, V_" + S.Var + ", " + Mask + ", " +
+             FnName + ");");
+      return;
+    }
+    case Stmt::Kind::If: {
+      std::string Refined = freshMask();
+      line("VMask<BK> " + Refined + " = " + Mask + " & " +
+           cond(*S.Cond, Mask) + ";");
+      open("if (any(" + Refined + ")) {");
+      body(S, Refined);
+      close();
+      return;
+    }
+    case Stmt::Kind::AtomicMin:
+      line("VMask<BK> M_" + S.WonVar + " = atomicMinVector<BK>(State." +
+           S.Array + ", " + expr(*S.Index, Mask) + ", " +
+           expr(*S.Value, Mask) + ", " + Mask + ");");
+      if (Topology) {
+        // Fixpoint pipes converge on the relaxation count.
+        line("ChangedCount += popcount(M_" + S.WonVar + ");");
+        UsesChanged = true;
+      }
+      return;
+    case Stmt::Kind::ArrayStore:
+      line("scatter<BK>(State." + S.Array + ", " + expr(*S.Index, Mask) +
+           ", " + expr(*S.Value, Mask) + ", " + Mask + ");");
+      return;
+    case Stmt::Kind::WorklistPush:
+      switch (S.Aggregation) {
+      case PushAggregation::None:
+        line("pushNaive<BK>(Out, " + expr(*S.Value, Mask) + ", " + Mask +
+             ");");
+        return;
+      case PushAggregation::Task:
+        line("pushCoop<BK>(Out, " + expr(*S.Value, Mask) + ", " + Mask +
+             ");");
+        return;
+      case PushAggregation::Fiber:
+        line("if (TL.Local.nearlyFull(BK::Width))");
+        line("  TL.Local.flush(Out);");
+        line("TL.Local.push<BK>(" + expr(*S.Value, Mask) + ", " + Mask +
+             ");");
+        UsesFiberCc = true;
+        return;
+      }
+      return;
+    }
+    assert(false && "invalid stmt kind");
+  }
+
+  void body(const Stmt &S, const std::string &Mask) {
+    for (const auto &Child : S.Body)
+      stmt(*Child, Mask);
+  }
+
+  std::string freshMask() { return "M_" + std::to_string(MaskCounter++); }
+
+  /// Hoists every edge loop's body into a kernel-scope lambda; returns the
+  /// name of the lambda bound to each ForAllEdges statement.
+  void hoistEdgeBodies(const Kernel &K) {
+    int Counter = 0;
+    for (const auto &Top : K.Body)
+      const_cast<Stmt &>(*Top).walk([&](Stmt &S) {
+        if (S.kind() != Stmt::Kind::ForAllEdges)
+          return;
+        std::string FnName = "EdgeFn_" + std::to_string(Counter++);
+        EdgeFnNames[&S] = FnName;
+        open("auto " + FnName + " = [&](VInt<BK> V_" + S.Var +
+             ", VInt<BK> V_" + S.DstVar + ", VInt<BK> V_" + S.EdgeVar +
+             ", VMask<BK> M_edge) {");
+        body(S, "M_edge");
+        close("};");
+      });
+  }
+
+  std::string edgeFnName(const Stmt &S) const {
+    auto It = EdgeFnNames.find(&S);
+    assert(It != EdgeFnNames.end() && "edge loop body was not hoisted");
+    return It->second;
+  }
+
+  /// The first hoisted edge lambda (for the NP epilogue flush).
+  std::string firstEdgeFnName() const { return "EdgeFn_0"; }
+
+  bool HasNpLoop = false;
+  bool UsesFiberCc = false;
+  bool UsesChanged = false;
+
+private:
+  std::string &Out;
+  [[maybe_unused]] const Program &P;
+  bool Topology;
+  int Indent = 1;
+  int MaskCounter = 0;
+  std::map<const Stmt *, std::string> EdgeFnNames;
+};
+
+void emitKernel(std::string &Out, const Program &P, const Kernel &K) {
+  Out += "/// Kernel " + K.Name;
+  if (K.UseFibers)
+    Out += " (fibers enabled)";
+  Out += ".\ntemplate <typename BK>\n";
+  Out += "void " + K.Name +
+         "_kernel(const KernelConfig &Cfg, const Csr &G, " + P.Name +
+         "_State &State, const Worklist &In, Worklist &Out, TaskLocal &TL, "
+         "std::int32_t &Changed, int TaskIdx, int TaskCount) {\n";
+  Out += "  using namespace egacs::simd;\n";
+  Out += "  (void)In; (void)Out; (void)TL; (void)Changed;\n";
+  if (K.Topology)
+    Out += "  std::int32_t ChangedCount = 0;\n";
+  Emitter E(Out, P, K.Topology);
+  E.hoistEdgeBodies(K);
+  for (const auto &S : K.Body)
+    E.stmt(*S, "M_outer");
+  // Kernel epilogue: drain NP-staged low-degree edges through the hoisted
+  // edge body, then fiber-local pushes. One edge loop per kernel is
+  // supported when NP is enabled (all Table VIII operators satisfy this).
+  if (E.HasNpLoop)
+    Out += "  TL.Np.flush<BK>(G, " + E.firstEdgeFnName() + ");\n";
+  if (E.UsesFiberCc)
+    Out += "  TL.Local.flush(Out);\n";
+  if (E.UsesChanged) {
+    Out += "  if (ChangedCount)\n";
+    Out += "    atomicAddGlobal(&Changed, ChangedCount);\n";
+  }
+  Out += "}\n\n";
+}
+
+void emitPipe(std::string &Out, const Program &P, const Pipe &Pp) {
+  // A pipe whose kernels are all topology-driven converges on the
+  // relaxation count; worklist pipes drain their frontier.
+  bool Fixpoint = !Pp.Invocations.empty();
+  for (const std::string &Inv : Pp.Invocations) {
+    const Kernel *K = const_cast<Program &>(P).findKernel(Inv);
+    Fixpoint &= K && K->Topology;
+  }
+
+  Out += "/// Pipe " + Pp.Name + (Pp.Outlined ? " (outlined)" : "") +
+         (Fixpoint ? ": iterates its kernels to a relaxation fixpoint.\n"
+                   : ": iterates its kernels until the worklist drains.\n");
+  Out += "template <typename BK>\n";
+  Out += "void " + Pp.Name + "_run(const Csr &G, KernelConfig Cfg, " +
+         P.Name + "_State &State, NodeId Source) {\n";
+  Out += "  Cfg.IterationOutlining = " +
+         std::string(Pp.Outlined ? "true" : "false") + ";\n";
+  if (Fixpoint) {
+    Out += "  (void)Source;\n";
+    Out += "  WorklistPair WL(64);\n";
+  } else {
+    Out += "  WorklistPair WL(2 * (static_cast<std::size_t>(G.numEdges()) + "
+           "G.numNodes()) + 64);\n";
+    Out += "  WL.in().pushSerial(Source);\n";
+  }
+  Out += "  auto Locals = makeTaskLocals(Cfg);\n";
+  Out += "  std::int32_t Changed = 0;\n";
+  Out += "  runPipe(Cfg, std::vector<TaskFn>{\n";
+  for (const std::string &Inv : Pp.Invocations) {
+    Out += "    TaskFn([&](int TaskIdx, int TaskCount) {\n";
+    Out += "      " + Inv +
+           "_kernel<BK>(Cfg, G, State, WL.in(), WL.out(), "
+           "*Locals[TaskIdx], Changed, TaskIdx, TaskCount);\n";
+    Out += "    }),\n";
+  }
+  if (Fixpoint) {
+    Out += "  }, [&] {\n";
+    Out += "    bool More = Changed != 0;\n";
+    Out += "    Changed = 0;\n";
+    Out += "    return More;\n";
+    Out += "  });\n";
+  } else {
+    Out += "  }, [&] {\n";
+    Out += "    WL.swap();\n";
+    Out += "    return !WL.in().empty();\n";
+    Out += "  });\n";
+  }
+  Out += "}\n\n";
+}
+
+} // namespace
+
+std::string egacs::irgl::emitCpp(const Program &P,
+                                 const CodeGenOptions &Opts) {
+  std::string Out;
+  Out += "// Generated by the EGACS mini IrGL compiler from program '" +
+         P.Name + "'.\n";
+  Out += "// Backend: egacs SPMD C++ (the role ISPC plays in the paper).\n";
+  Out += "#include \"kernels/KernelUtil.h\"\n\n";
+  Out += "namespace " + Opts.Namespace + " {\n\n";
+  Out += "using namespace egacs;\n";
+  Out += "using namespace egacs::simd;\n\n";
+
+  // State struct: one pointer per program array.
+  Out += "/// Arrays of program '" + P.Name + "'.\n";
+  Out += "struct " + P.Name + "_State {\n";
+  for (const ArrayDecl &A : P.Arrays)
+    Out += "  " + A.ElemType + " *" + A.Name + " = nullptr;\n";
+  Out += "};\n\n";
+
+  for (const Kernel &K : P.Kernels)
+    emitKernel(Out, P, K);
+  for (const Pipe &Pp : P.Pipes)
+    emitPipe(Out, P, Pp);
+
+  Out += "} // namespace " + Opts.Namespace + "\n";
+  return Out;
+}

@@ -1,0 +1,85 @@
+//===- irgl/Passes.cpp - IrGL optimization passes -------------------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "irgl/Passes.h"
+
+using namespace egacs::irgl;
+
+int egacs::irgl::applyIterationOutlining(Program &P) {
+  int Changed = 0;
+  for (Pipe &Pp : P.Pipes) {
+    if (Pp.Outlined)
+      continue;
+    Pp.Outlined = true;
+    ++Changed;
+  }
+  return Changed;
+}
+
+int egacs::irgl::applyNestedParallelism(Program &P) {
+  int Changed = 0;
+  for (Kernel &K : P.Kernels)
+    K.walk([&](Stmt &S) {
+      if (S.kind() == Stmt::Kind::ForAllEdges &&
+          S.Schedule != EdgeSchedule::NestedParallel) {
+        S.Schedule = EdgeSchedule::NestedParallel;
+        ++Changed;
+      }
+    });
+  return Changed;
+}
+
+int egacs::irgl::applyCooperativeConversion(Program &P) {
+  int Changed = 0;
+  for (Kernel &K : P.Kernels)
+    K.walk([&](Stmt &S) {
+      if (S.kind() == Stmt::Kind::WorklistPush &&
+          S.Aggregation == PushAggregation::None) {
+        S.Aggregation = PushAggregation::Task;
+        ++Changed;
+      }
+    });
+  return Changed;
+}
+
+int egacs::irgl::applyFibers(Program &P) {
+  int Changed = 0;
+  for (Kernel &K : P.Kernels) {
+    bool HasOuterLoop = false;
+    for (const auto &S : K.Body)
+      if (S->kind() == Stmt::Kind::ForAllNodes ||
+          S->kind() == Stmt::Kind::ForAllItems)
+        HasOuterLoop = true;
+    if (!HasOuterLoop || K.UseFibers)
+      continue;
+    K.UseFibers = true;
+    ++Changed;
+    if (!K.ExactPushCount)
+      continue;
+    // Fiber-level CC: one atomic per task round, enabled only when the
+    // push volume is computable in advance (paper Table V footnote).
+    K.walk([&](Stmt &S) {
+      if (S.kind() == Stmt::Kind::WorklistPush)
+        S.Aggregation = PushAggregation::Fiber;
+    });
+  }
+  return Changed;
+}
+
+void egacs::irgl::runPasses(Program &P, const OptimizationBundle &Opts) {
+  // Canonical order: structural transforms first (IO), then scheduling
+  // (NP), then push lowering (CC before Fibers so fiber-level CC can
+  // override task-level aggregation where it applies).
+  if (Opts.IterationOutlining)
+    applyIterationOutlining(P);
+  if (Opts.NestedParallelism)
+    applyNestedParallelism(P);
+  if (Opts.CoopConversion)
+    applyCooperativeConversion(P);
+  if (Opts.Fibers)
+    applyFibers(P);
+}

@@ -1,0 +1,67 @@
+//===- irgl/Passes.h - IrGL optimization passes -----------------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four throughput optimizations the paper retargets from the GPU IrGL
+/// compiler to the CPU, expressed as AST transforms:
+///
+///  * Iteration Outlining (III-A): mark every Pipe outlined so codegen moves
+///    the iterative loop inside one task launch with barriers.
+///  * Nested Parallelism (III-B2): schedule every inner edge loop with the
+///    inspector-executor redistribution.
+///  * Cooperative Conversion (III-C): aggregate worklist pushes at task
+///    level ("we also aggregate atomics unconditionally at the task level").
+///  * Fibers (III-B1): emulate thread blocks, and upgrade pushes to
+///    fiber-level aggregation in kernels whose push count is computable in
+///    advance (the paper's bfs-cx / bfs-hb).
+///
+/// Passes return the number of nodes they changed so tests can assert
+/// applicability, and a PassPipeline mirrors the artifact's optimization
+/// bundles (Makefile.ispc configurations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_IRGL_PASSES_H
+#define EGACS_IRGL_PASSES_H
+
+#include "irgl/Ast.h"
+
+namespace egacs::irgl {
+
+/// Marks every Pipe as outlined. Returns pipes changed.
+int applyIterationOutlining(Program &P);
+
+/// Schedules every ForAllEdges with the NP inspector-executor. Returns
+/// loops changed.
+int applyNestedParallelism(Program &P);
+
+/// Upgrades every unaggregated WorklistPush to task-level CC. Returns
+/// pushes changed.
+int applyCooperativeConversion(Program &P);
+
+/// Enables fibers on every kernel containing an outer parallel loop and
+/// upgrades pushes to fiber-level CC in kernels with ExactPushCount.
+/// Returns kernels changed.
+int applyFibers(Program &P);
+
+/// Which optimizations a compilation enables (Fig 5's configurations).
+struct OptimizationBundle {
+  bool IterationOutlining = false;
+  bool NestedParallelism = false;
+  bool CoopConversion = false;
+  bool Fibers = false;
+
+  static OptimizationBundle none() { return {}; }
+  static OptimizationBundle all() { return {true, true, true, true}; }
+};
+
+/// Runs the enabled passes in the compiler's canonical order.
+void runPasses(Program &P, const OptimizationBundle &Opts);
+
+} // namespace egacs::irgl
+
+#endif // EGACS_IRGL_PASSES_H

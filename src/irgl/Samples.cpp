@@ -1,0 +1,109 @@
+//===- irgl/Samples.cpp - Sample IrGL programs ----------------------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "irgl/Samples.h"
+
+using namespace egacs::irgl;
+
+namespace {
+
+/// Builds the shared relax-and-push operator shape:
+///   ForAll(src in worklist) ForAll(e, dst in edges(src)):
+///     won = atomicMin(DistArray[dst], DistArray[src] + Increment)
+///     if (won) push(dst)
+/// Increment is either a constant (BFS/CC) or weight[e] (SSSP).
+Kernel buildRelaxKernel(const std::string &KernelName,
+                        const std::string &DistArray,
+                        std::unique_ptr<Expr> Increment) {
+  auto Inner = Stmt::forAllEdges("src", "e", "dst");
+  auto NewDist = Expr::makeBin(
+      "+", Expr::makeLoad(DistArray, Expr::makeVar("src")),
+      std::move(Increment));
+  Inner->Body.push_back(Stmt::atomicMin(DistArray, Expr::makeVar("dst"),
+                                        std::move(NewDist), "won"));
+  auto Push = Stmt::ifStmt(Expr::makeVar("won"));
+  Push->Body.push_back(Stmt::worklistPush(Expr::makeVar("dst")));
+  Inner->Body.push_back(std::move(Push));
+
+  auto Outer = Stmt::forAllItems("src");
+  Outer->Body.push_back(std::move(Inner));
+
+  Kernel K;
+  K.Name = KernelName;
+  K.Body.push_back(std::move(Outer));
+  return K;
+}
+
+Program buildRelaxProgram(const std::string &Name,
+                          const std::string &DistArray,
+                          std::unique_ptr<Expr> Increment,
+                          bool HasWeights) {
+  Program P;
+  P.Name = Name;
+  P.Arrays.push_back({DistArray, "std::int32_t"});
+  if (HasWeights)
+    P.Arrays.push_back({"weight", "std::int32_t"});
+  P.Kernels.push_back(
+      buildRelaxKernel(Name + "_op", DistArray, std::move(Increment)));
+  Pipe Pp;
+  Pp.Name = Name + "_pipe";
+  Pp.Invocations.push_back(Name + "_op");
+  P.Pipes.push_back(std::move(Pp));
+  return P;
+}
+
+} // namespace
+
+Program egacs::irgl::buildBfsProgram() {
+  return buildRelaxProgram("bfs", "dist", Expr::makeInt(1),
+                           /*HasWeights=*/false);
+}
+
+Program egacs::irgl::buildBfsTpProgram() {
+  // ForAll(src in graph.nodes):
+  //   if (dist[src] < INF)                 // unvisited sources must not
+  //     ForAll(e, dst in edges(src)):      // relax (INF+1 would overflow)
+  //       won = atomicMin(dist[dst], dist[src] + 1)
+  // iterated until no relaxation wins (fixpoint pipe).
+  auto Inner = Stmt::forAllEdges("src", "e", "dst");
+  Inner->Body.push_back(Stmt::atomicMin(
+      "dist", Expr::makeVar("dst"),
+      Expr::makeBin("+", Expr::makeLoad("dist", Expr::makeVar("src")),
+                    Expr::makeInt(1)),
+      "won"));
+  auto Visited = Stmt::ifStmt(
+      Expr::makeBin("<", Expr::makeLoad("dist", Expr::makeVar("src")),
+                    Expr::makeInt(0x7fffffff)));
+  Visited->Body.push_back(std::move(Inner));
+  auto Outer = Stmt::forAllNodes("src");
+  Outer->Body.push_back(std::move(Visited));
+
+  Program P;
+  P.Name = "bfstp";
+  P.Arrays.push_back({"dist", "std::int32_t"});
+  Kernel K;
+  K.Name = "bfstp_op";
+  K.Topology = true;
+  K.Body.push_back(std::move(Outer));
+  P.Kernels.push_back(std::move(K));
+  Pipe Pp;
+  Pp.Name = "bfstp_pipe";
+  Pp.Invocations.push_back("bfstp_op");
+  P.Pipes.push_back(std::move(Pp));
+  return P;
+}
+
+Program egacs::irgl::buildCcProgram() {
+  return buildRelaxProgram("cc", "comp", Expr::makeInt(0),
+                           /*HasWeights=*/false);
+}
+
+Program egacs::irgl::buildSsspProgram() {
+  return buildRelaxProgram("sssp", "dist",
+                           Expr::makeLoad("weight", Expr::makeVar("e")),
+                           /*HasWeights=*/true);
+}

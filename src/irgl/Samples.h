@@ -1,0 +1,39 @@
+//===- irgl/Samples.h - Sample IrGL programs --------------------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical IrGL inputs used by the compiler tests and the irgl_codegen
+/// example: worklist BFS (the paper's Listing 2/3 running example),
+/// label-propagation CC, and near-far-style SSSP relaxation. All are
+/// single-operator worklist pipes — the shape the mini-compiler's Pipe
+/// driver supports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_IRGL_SAMPLES_H
+#define EGACS_IRGL_SAMPLES_H
+
+#include "irgl/Ast.h"
+
+namespace egacs::irgl {
+
+/// Worklist BFS: relax dist[dst] to dist[src]+1, push winners.
+Program buildBfsProgram();
+
+/// Label-propagation connected components.
+Program buildCcProgram();
+
+/// Topology-driven BFS (the paper's bfs-tp): rescan all nodes per round,
+/// iterate to a relaxation fixpoint.
+Program buildBfsTpProgram();
+
+/// SSSP relaxation: dist[dst] = min(dist[dst], dist[src] + weight[e]).
+Program buildSsspProgram();
+
+} // namespace egacs::irgl
+
+#endif // EGACS_IRGL_SAMPLES_H

@@ -1,0 +1,240 @@
+//===- kernels/Bfs.h - Breadth-first search variants ------------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's four BFS variants (Table VIII, Table X):
+///
+///  * bfs-wl  - worklist-driven level-synchronous BFS; pushes use task-level
+///              Cooperative Conversion when enabled.
+///  * bfs-cx  - worklist BFS whose pushes are aggregated per task round in a
+///              fiber-local buffer, so each task issues one atomic per round
+///              (the fiber-level CC variant of Table V; "cx" read as
+///              coordinated/exact push).
+///  * bfs-tp  - topology-driven BFS: every round rescans all nodes and
+///              expands those on the current level; no worklist, no push
+///              atomics.
+///  * bfs-hb  - hybrid: dense (topology) rounds for large frontiers, sparse
+///              (worklist) rounds otherwise; also admits fiber-level CC.
+///
+/// All variants produce hop distances from the source (InfDist when
+/// unreachable) and are verified against kernels/Reference.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_KERNELS_BFS_H
+#define EGACS_KERNELS_BFS_H
+
+#include "kernels/KernelUtil.h"
+
+#include <vector>
+
+namespace egacs {
+
+namespace bfs_detail {
+
+/// One sparse (worklist) BFS round for one task: expands In's slice into
+/// Out. When \p Local is non-null pushes aggregate fiber-locally.
+template <typename BK>
+void bfsSparseRound(const KernelConfig &Cfg, const Csr &G, std::int32_t *Dist,
+                    std::int32_t NextLevel, const Worklist &In, Worklist &Out,
+                    TaskLocal &TL, int TaskIdx, int TaskCount,
+                    bool FiberLevelCc) {
+  using namespace simd;
+  LocalPushBuffer *Local = FiberLevelCc && Cfg.Fibers ? &TL.Local : nullptr;
+  VInt<BK> Next = splat<BK>(NextLevel);
+  auto OnEdge = [&](VInt<BK>, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
+    VMask<BK> Won = atomicMinVector<BK>(Dist, Dst, Next, EAct);
+    if (any(Won))
+      pushFrontier<BK>(Cfg, Out, Local, Dst, Won);
+  };
+  forEachWorklistSlice<BK>(Cfg, In.items(), In.size(), TaskIdx, TaskCount,
+                           [&](VInt<BK> Node, VMask<BK> Act) {
+                             visitEdges<BK>(Cfg, G, Node, Act, TL.Np, OnEdge);
+                           });
+  flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
+  if (Local)
+    Local->flush(Out);
+}
+
+} // namespace bfs_detail
+
+/// bfs-wl: worklist level-synchronous BFS.
+template <typename BK>
+std::vector<std::int32_t> bfsWl(const Csr &G, const KernelConfig &Cfg,
+                                NodeId Source) {
+  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
+                                 InfDist);
+  if (G.numNodes() == 0)
+    return Dist;
+  Dist[static_cast<std::size_t>(Source)] = 0;
+
+  WorklistPair WL(static_cast<std::size_t>(G.numNodes()) + 64);
+  WL.in().pushSerial(Source);
+  auto Locals = makeTaskLocals(Cfg);
+  std::int32_t Level = 0;
+
+  runPipe(
+      Cfg,
+      TaskFn([&](int TaskIdx, int TaskCount) {
+        bfs_detail::bfsSparseRound<BK>(Cfg, G, Dist.data(), Level + 1, WL.in(),
+                                   WL.out(), *Locals[TaskIdx], TaskIdx,
+                                   TaskCount, /*FiberLevelCc=*/false);
+      }),
+      [&] {
+        WL.swap();
+        ++Level;
+        return !WL.in().empty();
+      });
+  return Dist;
+}
+
+/// bfs-cx: worklist BFS with fiber-level Cooperative Conversion (one atomic
+/// push reservation per task per round when Fibers are enabled).
+template <typename BK>
+std::vector<std::int32_t> bfsCx(const Csr &G, const KernelConfig &Cfg,
+                                NodeId Source) {
+  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
+                                 InfDist);
+  if (G.numNodes() == 0)
+    return Dist;
+  Dist[static_cast<std::size_t>(Source)] = 0;
+
+  WorklistPair WL(static_cast<std::size_t>(G.numNodes()) + 64);
+  WL.in().pushSerial(Source);
+  // Fiber-local aggregation buffers must hold a task's worst-case round
+  // output: its share of new frontier nodes.
+  auto Locals = makeTaskLocals(
+      Cfg, static_cast<std::size_t>(G.numNodes()) / Cfg.NumTasks + 4096);
+  std::int32_t Level = 0;
+
+  runPipe(
+      Cfg,
+      TaskFn([&](int TaskIdx, int TaskCount) {
+        bfs_detail::bfsSparseRound<BK>(Cfg, G, Dist.data(), Level + 1, WL.in(),
+                                   WL.out(), *Locals[TaskIdx], TaskIdx,
+                                   TaskCount, /*FiberLevelCc=*/true);
+      }),
+      [&] {
+        WL.swap();
+        ++Level;
+        return !WL.in().empty();
+      });
+  return Dist;
+}
+
+/// bfs-tp: topology-driven BFS (rescans all nodes every level).
+template <typename BK>
+std::vector<std::int32_t> bfsTp(const Csr &G, const KernelConfig &Cfg,
+                                NodeId Source) {
+  using namespace simd;
+  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
+                                 InfDist);
+  if (G.numNodes() == 0)
+    return Dist;
+  Dist[static_cast<std::size_t>(Source)] = 0;
+
+  auto Locals = makeTaskLocals(Cfg);
+  std::int32_t Level = 0;
+  std::int32_t Expanded = 0; // relaxations performed in the last round
+
+  runPipe(
+      Cfg,
+      TaskFn([&](int TaskIdx, int TaskCount) {
+        TaskLocal &TL = *Locals[TaskIdx];
+        std::int32_t LocalWins = 0;
+        VInt<BK> Cur = splat<BK>(Level);
+        VInt<BK> Next = splat<BK>(Level + 1);
+        auto OnEdge = [&](VInt<BK>, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
+          VMask<BK> Won = atomicMinVector<BK>(Dist.data(), Dst, Next, EAct);
+          LocalWins += popcount(Won);
+        };
+        forEachNodeSlice<BK>(
+            G.numNodes(), TaskIdx, TaskCount,
+            [&](VInt<BK> Node, VMask<BK> Act) {
+              VMask<BK> OnLevel =
+                  Act & (gather<BK>(Dist.data(), Node, Act) == Cur);
+              if (any(OnLevel))
+                visitEdges<BK>(Cfg, G, Node, OnLevel, TL.Np, OnEdge);
+            });
+        flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
+        if (LocalWins)
+          atomicAddGlobal(&Expanded, LocalWins);
+      }),
+      [&] {
+        ++Level;
+        bool Continue = Expanded != 0;
+        Expanded = 0;
+        return Continue;
+      });
+  return Dist;
+}
+
+/// bfs-hb: hybrid BFS; dense rounds when the frontier exceeds 1/HybridDenom
+/// of the nodes, sparse rounds otherwise.
+template <typename BK>
+std::vector<std::int32_t> bfsHb(const Csr &G, const KernelConfig &Cfg,
+                                NodeId Source) {
+  int HybridDenom = Cfg.HybridDenominator;
+  using namespace simd;
+  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
+                                 InfDist);
+  if (G.numNodes() == 0)
+    return Dist;
+  Dist[static_cast<std::size_t>(Source)] = 0;
+
+  WorklistPair WL(static_cast<std::size_t>(G.numNodes()) + 64);
+  WL.in().pushSerial(Source);
+  auto Locals = makeTaskLocals(
+      Cfg, static_cast<std::size_t>(G.numNodes()) / Cfg.NumTasks + 4096);
+  std::int32_t Level = 0;
+  bool Dense = false;
+
+  runPipe(
+      Cfg,
+      TaskFn([&](int TaskIdx, int TaskCount) {
+        TaskLocal &TL = *Locals[TaskIdx];
+        if (!Dense) {
+          bfs_detail::bfsSparseRound<BK>(Cfg, G, Dist.data(), Level + 1, WL.in(),
+                                     WL.out(), TL, TaskIdx, TaskCount,
+                                     /*FiberLevelCc=*/true);
+          return;
+        }
+        // Dense round: expand every node on the current level; the next
+        // frontier is still materialized so a later sparse round can run.
+        LocalPushBuffer *Local = Cfg.Fibers ? &TL.Local : nullptr;
+        VInt<BK> Cur = splat<BK>(Level);
+        VInt<BK> Next = splat<BK>(Level + 1);
+        auto OnEdge = [&](VInt<BK>, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
+          VMask<BK> Won = atomicMinVector<BK>(Dist.data(), Dst, Next, EAct);
+          if (any(Won))
+            pushFrontier<BK>(Cfg, WL.out(), Local, Dst, Won);
+        };
+        forEachNodeSlice<BK>(
+            G.numNodes(), TaskIdx, TaskCount,
+            [&](VInt<BK> Node, VMask<BK> Act) {
+              VMask<BK> OnLevel =
+                  Act & (gather<BK>(Dist.data(), Node, Act) == Cur);
+              if (any(OnLevel))
+                visitEdges<BK>(Cfg, G, Node, OnLevel, TL.Np, OnEdge);
+            });
+        flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
+        if (Local)
+          Local->flush(WL.out());
+      }),
+      [&] {
+        WL.swap();
+        ++Level;
+        Dense = WL.in().size() >
+                G.numNodes() / (HybridDenom > 0 ? HybridDenom : 20);
+        return !WL.in().empty();
+      });
+  return Dist;
+}
+
+} // namespace egacs
+
+#endif // EGACS_KERNELS_BFS_H

@@ -1,0 +1,74 @@
+//===- kernels/Cc.h - Connected components ----------------------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Worklist-driven label-propagation connected components: every node starts
+/// as its own component id, ids flow along edges via atomic min, and nodes
+/// whose label shrank re-enter the worklist. On symmetric graphs the final
+/// label of every node is the minimum node id of its component.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_KERNELS_CC_H
+#define EGACS_KERNELS_CC_H
+
+#include "kernels/KernelUtil.h"
+
+#include <numeric>
+#include <vector>
+
+namespace egacs {
+
+/// cc: label-propagation components; returns per-node component labels.
+template <typename BK>
+std::vector<std::int32_t> connectedComponents(const Csr &G,
+                                              const KernelConfig &Cfg) {
+  using namespace simd;
+  std::vector<std::int32_t> Comp(static_cast<std::size_t>(G.numNodes()));
+  std::iota(Comp.begin(), Comp.end(), 0);
+  if (G.numNodes() == 0)
+    return Comp;
+
+  // Duplicate pushes are possible when a label shrinks repeatedly within a
+  // round; size generously (reserve() aborts rather than overruns).
+  std::size_t Cap = 2 * (static_cast<std::size_t>(G.numEdges()) +
+                         static_cast<std::size_t>(G.numNodes())) +
+                    64;
+  WorklistPair WL(Cap);
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    WL.in().pushSerial(N);
+  auto Locals = makeTaskLocals(Cfg);
+
+  runPipe(
+      Cfg,
+      TaskFn([&](int TaskIdx, int TaskCount) {
+        TaskLocal &TL = *Locals[TaskIdx];
+        auto OnEdge = [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>,
+                          VMask<BK> EAct) {
+          VInt<BK> Label = gather<BK>(Comp.data(), Src, EAct);
+          VMask<BK> Won = atomicMinVector<BK>(Comp.data(), Dst, Label, EAct);
+          if (any(Won))
+            pushFrontier<BK>(Cfg, WL.out(), nullptr, Dst, Won);
+        };
+        forEachWorklistSlice<BK>(Cfg, WL.in().items(), WL.in().size(),
+                                 TaskIdx, TaskCount,
+                                 [&](VInt<BK> Node, VMask<BK> Act) {
+                                   visitEdges<BK>(Cfg, G, Node, Act, TL.Np,
+                                                  OnEdge);
+                                 });
+        flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
+      }),
+      [&] {
+        WL.swap();
+        return !WL.in().empty();
+      });
+  return Comp;
+}
+
+} // namespace egacs
+
+#endif // EGACS_KERNELS_CC_H

@@ -1,0 +1,85 @@
+//===- kernels/KernelConfig.h - Kernel execution configuration --*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The knobs every EGACS kernel honours, mirroring the optimization axes of
+/// the paper's evaluation: Iteration Outlining (IO), Nested Parallelism
+/// (NP), task-level Cooperative Conversion (CC), and Fibers (which also
+/// enables fiber-level CC in the BFS-CX/BFS-HB kernels). Fig 5's
+/// configurations are specific combinations of these flags; Fig 6's
+/// "+MT"/"+SIMD" axes come from NumTasks and the backend choice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_KERNELS_KERNELCONFIG_H
+#define EGACS_KERNELS_KERNELCONFIG_H
+
+#include "runtime/TaskSystem.h"
+
+#include <cstdint>
+
+namespace egacs {
+
+/// Optimization and execution configuration for one kernel run.
+struct KernelConfig {
+  /// Task system that executes SPMD tasks (non-owning). Required.
+  TaskSystem *TS = nullptr;
+  /// Number of ISPC-style tasks to launch. With Iteration Outlining this
+  /// must not exceed TS->concurrency() (tasks barrier-sync inside one
+  /// launch).
+  int NumTasks = 1;
+
+  /// Iteration Outlining: run the iterative Pipe inside one task launch,
+  /// replacing per-iteration launches with barriers (paper III-A).
+  bool IterationOutlining = true;
+  /// Nested Parallelism: inspector-executor edge redistribution (III-B2).
+  bool NestedParallelism = true;
+  /// Task-level Cooperative Conversion of worklist pushes (III-C).
+  bool CoopConversion = true;
+  /// Fibers: thread-block emulation; enables fiber-level CC where the
+  /// kernel supports it (III-B1).
+  bool Fibers = true;
+
+  /// SSSP near-far bucket width (input-specific, like the paper's DELTA).
+  std::int32_t Delta = 8192;
+  /// PageRank damping factor and convergence tolerance.
+  float PrDamping = 0.85f;
+  float PrTolerance = 1e-4f;
+  /// Hard iteration cap for iterative kernels (safety net).
+  int MaxIterations = 1 << 20;
+
+  // --- Ablation knobs (defaults match the paper's choices) ---------------
+  /// Cap on the dynamic fiber-count formula (paper: 256, set empirically).
+  int MaxFibersPerTask = 256;
+  /// Capacity of the NP fine-grained staging buffer, in (src, edge) pairs.
+  int NpBufferCapacity = 4096;
+  /// bfs-hb goes dense when |frontier| > numNodes / HybridDenominator.
+  int HybridDenominator = 20;
+
+  /// Named optimization bundles matching the paper's Fig 5 series.
+  static KernelConfig unoptimized(TaskSystem &TS, int NumTasks) {
+    KernelConfig Cfg;
+    Cfg.TS = &TS;
+    Cfg.NumTasks = NumTasks;
+    Cfg.IterationOutlining = false;
+    Cfg.NestedParallelism = false;
+    Cfg.CoopConversion = false;
+    Cfg.Fibers = false;
+    return Cfg;
+  }
+
+  static KernelConfig allOptimizations(TaskSystem &TS, int NumTasks) {
+    KernelConfig Cfg;
+    Cfg.TS = &TS;
+    Cfg.NumTasks = NumTasks;
+    return Cfg;
+  }
+};
+
+} // namespace egacs
+
+#endif // EGACS_KERNELS_KERNELCONFIG_H

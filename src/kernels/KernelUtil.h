@@ -1,0 +1,148 @@
+//===- kernels/KernelUtil.h - Shared kernel building blocks -----*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers every SPMD kernel composes:
+///  * visitEdges / flushEdges  - edge iteration that honours the Nested
+///    Parallelism flag (inspector-executor vs per-lane loops);
+///  * pushFrontier             - worklist push that honours Cooperative
+///    Conversion and fiber-level aggregation;
+///  * forEachWorklistSlice     - a task's share of the input worklist,
+///    fiber-interleaved when Fibers is on (the iteration-order effect the
+///    paper observes on CC's locality);
+///  * TaskLocal                - per-task scratch (NP staging, local push
+///    buffers) allocated once per kernel run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_KERNELS_KERNELUTIL_H
+#define EGACS_KERNELS_KERNELUTIL_H
+
+#include "kernels/KernelConfig.h"
+#include "kernels/Kernels.h"
+#include "kernels/PipeDriver.h"
+#include "runtime/Fibers.h"
+#include "sched/NestedParallelism.h"
+#include "sched/VertexLoop.h"
+#include "worklist/Worklist.h"
+
+#include <memory>
+#include <vector>
+
+namespace egacs {
+
+/// Per-task scratch state for one kernel run.
+struct TaskLocal {
+  NpScratch Np;
+  LocalPushBuffer Local;
+
+  TaskLocal(std::size_t NpCapacity, std::size_t LocalCapacity)
+      : Np(NpCapacity), Local(LocalCapacity) {}
+};
+
+/// Allocates per-task scratch for \p Cfg.NumTasks tasks.
+inline std::vector<std::unique_ptr<TaskLocal>>
+makeTaskLocals(const KernelConfig &Cfg, std::size_t LocalCapacity = 8192) {
+  std::vector<std::unique_ptr<TaskLocal>> Locals;
+  Locals.reserve(static_cast<std::size_t>(Cfg.NumTasks));
+  std::size_t NpCapacity =
+      Cfg.NpBufferCapacity > 0
+          ? static_cast<std::size_t>(Cfg.NpBufferCapacity)
+          : 4096;
+  for (int T = 0; T < Cfg.NumTasks; ++T)
+    Locals.push_back(std::make_unique<TaskLocal>(NpCapacity, LocalCapacity));
+  return Locals;
+}
+
+/// Visits the edges of the active nodes in \p Node, choosing the NP
+/// inspector-executor or the plain per-lane loop per Cfg. The caller must
+/// call flushEdges after its last vector of the phase.
+template <typename BK, typename EdgeFnT>
+void visitEdges(const KernelConfig &Cfg, const Csr &G, simd::VInt<BK> Node,
+                simd::VMask<BK> Act, NpScratch &Scratch, EdgeFnT &&Fn) {
+  if (Cfg.NestedParallelism)
+    npForEachEdge<BK>(G, Node, Act, Scratch, Fn);
+  else
+    plainForEachEdge<BK>(G, Node, Act, Fn);
+}
+
+/// Drains any NP-staged low-degree edges.
+template <typename BK, typename EdgeFnT>
+void flushEdges(const KernelConfig &Cfg, const Csr &G, NpScratch &Scratch,
+                EdgeFnT &&Fn) {
+  if (Cfg.NestedParallelism)
+    Scratch.flush<BK>(G, Fn);
+}
+
+/// Pushes the active lanes of \p Values into the frontier according to the
+/// configured aggregation level: fiber-level CC (local buffer) when
+/// \p Local is non-null, task-level CC when Cfg.CoopConversion, else one
+/// atomic per lane.
+template <typename BK>
+void pushFrontier(const KernelConfig &Cfg, Worklist &Out,
+                  LocalPushBuffer *Local, simd::VInt<BK> Values,
+                  simd::VMask<BK> M) {
+  if (Local) {
+    if (Local->nearlyFull(BK::Width))
+      Local->flush(Out);
+    Local->push<BK>(Values, M);
+    return;
+  }
+  if (Cfg.CoopConversion) {
+    pushCoop<BK>(Out, Values, M);
+    return;
+  }
+  pushNaive<BK>(Out, Values, M);
+}
+
+/// Iterates task \p TaskIdx's slice of Items[0, Size), one vector at a time:
+/// Body(VInt Values, VMask Active). With Fibers enabled the slice is further
+/// split into the paper's dynamic fiber count and the fibers are stepped
+/// round-robin, emulating a thread block's warps.
+template <typename BK, typename BodyT>
+void forEachWorklistSlice(const KernelConfig &Cfg, const NodeId *Items,
+                          std::int64_t Size, int TaskIdx, int TaskCount,
+                          BodyT &&Body) {
+  TaskRange R = TaskRange::block(Size, TaskIdx, TaskCount);
+  if (!Cfg.Fibers) {
+    forEachVector<BK>(Items, R.Begin, R.End, Body);
+    return;
+  }
+
+  int NumFibers = FiberConfig::numFibersPerTask(Size, BK::Width, TaskCount,
+                                                Cfg.MaxFibersPerTask);
+  std::int64_t SliceLen = R.End - R.Begin;
+  std::int64_t PerFiber =
+      (SliceLen + NumFibers - 1) / NumFibers;
+  // Round fiber stride up to whole vectors so fibers stay vector-aligned.
+  PerFiber = (PerFiber + BK::Width - 1) / BK::Width * BK::Width;
+  std::int64_t MaxSteps = (PerFiber + BK::Width - 1) / BK::Width;
+  for (std::int64_t Step = 0; Step < MaxSteps; ++Step) {
+    for (int F = 0; F < NumFibers; ++F) {
+      std::int64_t Begin = R.Begin + F * PerFiber + Step * BK::Width;
+      std::int64_t FiberEnd = R.Begin + (F + 1) * PerFiber;
+      std::int64_t End = FiberEnd < R.End ? FiberEnd : R.End;
+      if (Begin >= End)
+        continue;
+      std::int64_t VecEnd = Begin + BK::Width < End ? Begin + BK::Width : End;
+      forEachVector<BK>(Items, Begin, VecEnd, Body);
+    }
+  }
+}
+
+/// Iterates task \p TaskIdx's slice of node ids [0, NumNodes) one vector at
+/// a time (topology-driven kernels).
+template <typename BK, typename BodyT>
+void forEachNodeSlice(std::int64_t NumNodes, int TaskIdx, int TaskCount,
+                      BodyT &&Body) {
+  TaskRange R = TaskRange::block(NumNodes, TaskIdx, TaskCount);
+  forEachNodeVector<BK>(R.Begin, R.End, Body);
+}
+
+} // namespace egacs
+
+#endif // EGACS_KERNELS_KERNELUTIL_H

@@ -1,0 +1,150 @@
+//===- kernels/Kernels.cpp - Unified kernel entry points ------------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernels.h"
+
+#include "kernels/Bfs.h"
+#include "kernels/Cc.h"
+#include "kernels/Mis.h"
+#include "kernels/Mst.h"
+#include "kernels/Pr.h"
+#include "kernels/Reference.h"
+#include "kernels/Sssp.h"
+#include "kernels/Tri.h"
+#include "simd/Targets.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace egacs;
+using namespace egacs::simd;
+
+const char *egacs::kernelName(KernelKind Kind) {
+  switch (Kind) {
+  case KernelKind::BfsWl:
+    return "bfs-wl";
+  case KernelKind::BfsCx:
+    return "bfs-cx";
+  case KernelKind::BfsTp:
+    return "bfs-tp";
+  case KernelKind::BfsHb:
+    return "bfs-hb";
+  case KernelKind::Cc:
+    return "cc";
+  case KernelKind::Tri:
+    return "tri";
+  case KernelKind::SsspNf:
+    return "sssp";
+  case KernelKind::Mis:
+    return "mis";
+  case KernelKind::Pr:
+    return "pr";
+  case KernelKind::Mst:
+    return "mst";
+  }
+  assert(false && "invalid kernel kind");
+  return "<invalid>";
+}
+
+KernelKind egacs::parseKernelKind(const std::string &Name) {
+  for (KernelKind Kind : AllKernels)
+    if (Name == kernelName(Kind))
+      return Kind;
+  assert(false && "unknown kernel name");
+  return KernelKind::BfsWl;
+}
+
+bool egacs::kernelNeedsWeights(KernelKind Kind) {
+  return Kind == KernelKind::SsspNf || Kind == KernelKind::Mst;
+}
+
+bool egacs::kernelNeedsSortedAdjacency(KernelKind Kind) {
+  return Kind == KernelKind::Tri;
+}
+
+KernelOutput egacs::runKernel(KernelKind Kind, TargetKind Target,
+                              const Csr &G, const KernelConfig &Cfg,
+                              NodeId Source) {
+  return dispatchTarget(Target, [&]<typename BK>() {
+    KernelOutput Out;
+    switch (Kind) {
+    case KernelKind::BfsWl:
+      Out.IntData = bfsWl<BK>(G, Cfg, Source);
+      break;
+    case KernelKind::BfsCx:
+      Out.IntData = bfsCx<BK>(G, Cfg, Source);
+      break;
+    case KernelKind::BfsTp:
+      Out.IntData = bfsTp<BK>(G, Cfg, Source);
+      break;
+    case KernelKind::BfsHb:
+      Out.IntData = bfsHb<BK>(G, Cfg, Source);
+      break;
+    case KernelKind::Cc:
+      Out.IntData = connectedComponents<BK>(G, Cfg);
+      break;
+    case KernelKind::Tri:
+      Out.Scalar0 = triangleCount<BK>(G, Cfg);
+      break;
+    case KernelKind::SsspNf:
+      Out.IntData = ssspNf<BK>(G, Cfg, Source);
+      break;
+    case KernelKind::Mis:
+      Out.IntData = maximalIndependentSet<BK>(G, Cfg);
+      break;
+    case KernelKind::Pr:
+      Out.FloatData = pageRank<BK>(G, Cfg);
+      break;
+    case KernelKind::Mst: {
+      MstResult R = boruvkaMst<BK>(G, Cfg);
+      Out.Scalar0 = R.TotalWeight;
+      Out.Scalar1 = R.NumEdges;
+      break;
+    }
+    }
+    return Out;
+  });
+}
+
+bool egacs::verifyKernelOutput(KernelKind Kind, const Csr &G, NodeId Source,
+                               const KernelOutput &Out,
+                               const KernelConfig &Cfg) {
+  switch (Kind) {
+  case KernelKind::BfsWl:
+  case KernelKind::BfsCx:
+  case KernelKind::BfsTp:
+  case KernelKind::BfsHb:
+    return Out.IntData == refBfs(G, Source);
+  case KernelKind::Cc:
+    return Out.IntData == refConnectedComponents(G);
+  case KernelKind::Tri:
+    return Out.Scalar0 == refTriangleCount(G);
+  case KernelKind::SsspNf:
+    return Out.IntData == refSssp(G, Source);
+  case KernelKind::Mis:
+    return isValidMis(G, Out.IntData);
+  case KernelKind::Pr: {
+    std::vector<float> Ref =
+        refPageRank(G, Cfg.PrDamping, Cfg.PrTolerance, 50);
+    if (Ref.size() != Out.FloatData.size())
+      return false;
+    for (std::size_t I = 0; I < Ref.size(); ++I) {
+      float Tol = 1e-4f + 1e-2f * std::fabs(Ref[I]);
+      if (std::fabs(Ref[I] - Out.FloatData[I]) > Tol)
+        return false;
+    }
+    return true;
+  }
+  case KernelKind::Mst: {
+    std::int64_t Weight = 0, Edges = 0;
+    refMstWeight(G, Weight, Edges);
+    return Out.Scalar0 == Weight && Out.Scalar1 == Edges;
+  }
+  }
+  assert(false && "invalid kernel kind");
+  return false;
+}

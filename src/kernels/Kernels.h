@@ -1,0 +1,99 @@
+//===- kernels/Kernels.h - Unified kernel entry points ----------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime-dispatchable kernel interface used by the benchmark
+/// harnesses, examples, and integration tests: pick a benchmark (the
+/// paper's Table VIII set) and a SIMD target, run it, verify it against the
+/// serial oracles. Template entry points for individual kernels live in
+/// their own headers (Bfs.h, Sssp.h, ...) for users who statically know
+/// their backend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_KERNELS_KERNELS_H
+#define EGACS_KERNELS_KERNELS_H
+
+#include "graph/Csr.h"
+#include "kernels/KernelConfig.h"
+#include "simd/Backend.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace egacs {
+
+/// Sentinel distance for unreached nodes (bfs/sssp outputs).
+inline constexpr std::int32_t InfDist = 0x7fffffff;
+
+/// Node states in the MIS kernel's output.
+enum MisState : std::int32_t {
+  MisUndecided = 0,
+  MisIn = 1,
+  MisOut = 2,
+  MisCandidate = 3, ///< transient, never present in final output
+};
+
+/// The paper's benchmarks (Table VIII).
+enum class KernelKind {
+  BfsWl,
+  BfsCx,
+  BfsTp,
+  BfsHb,
+  Cc,
+  Tri,
+  SsspNf,
+  Mis,
+  Pr,
+  Mst,
+};
+
+/// All kernels in presentation order.
+inline constexpr KernelKind AllKernels[] = {
+    KernelKind::BfsWl, KernelKind::BfsCx, KernelKind::BfsTp,
+    KernelKind::BfsHb, KernelKind::Cc,    KernelKind::Tri,
+    KernelKind::SsspNf, KernelKind::Mis,  KernelKind::Pr,
+    KernelKind::Mst,
+};
+
+/// The paper's short benchmark name ("bfs-wl", "sssp", ...).
+const char *kernelName(KernelKind Kind);
+
+/// Parses a kernel name; asserts on unknown names.
+KernelKind parseKernelKind(const std::string &Name);
+
+/// True for kernels that require edge weights (sssp, mst).
+bool kernelNeedsWeights(KernelKind Kind);
+
+/// True for kernels that require destination-sorted adjacency (tri).
+bool kernelNeedsSortedAdjacency(KernelKind Kind);
+
+/// Uniform result container across kernels.
+struct KernelOutput {
+  /// Distances (bfs/sssp), component labels (cc), or MIS states (mis).
+  std::vector<std::int32_t> IntData;
+  /// PageRank vector (pr).
+  std::vector<float> FloatData;
+  /// tri: triangle count; mst: forest weight.
+  std::int64_t Scalar0 = 0;
+  /// mst: forest edge count.
+  std::int64_t Scalar1 = 0;
+};
+
+/// Runs \p Kind on \p Target. \p Source seeds bfs/sssp and is ignored
+/// elsewhere. For tri, \p G must have destination-sorted adjacency.
+KernelOutput runKernel(KernelKind Kind, simd::TargetKind Target, const Csr &G,
+                       const KernelConfig &Cfg, NodeId Source = 0);
+
+/// Checks \p Out against the serial oracles (kernels/Reference.h).
+bool verifyKernelOutput(KernelKind Kind, const Csr &G, NodeId Source,
+                        const KernelOutput &Out, const KernelConfig &Cfg);
+
+} // namespace egacs
+
+#endif // EGACS_KERNELS_KERNELS_H

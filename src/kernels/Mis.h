@@ -1,0 +1,151 @@
+//===- kernels/Mis.h - Maximal independent set ------------------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Luby-style maximal independent set with deterministic hashed priorities.
+/// Each round has four edge-local phases (edge-locality keeps the phases
+/// valid under the Nested Parallelism edge redistribution):
+///
+///   1. every undecided node becomes a candidate;
+///   2. for every edge between two candidates, the lower-(priority, id)
+///      endpoint is demoted back to undecided;
+///   3. surviving candidates join the set;
+///   4. undecided neighbours of new members become excluded, and the
+///      worklist is rebuilt from the remaining undecided nodes.
+///
+/// The (priority, id) order is total, so the maximum undecided node of any
+/// component always survives — termination is deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_KERNELS_MIS_H
+#define EGACS_KERNELS_MIS_H
+
+#include "kernels/KernelUtil.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace egacs {
+
+/// mis: returns per-node states, each either MisIn or MisOut.
+template <typename BK>
+std::vector<std::int32_t> maximalIndependentSet(const Csr &G,
+                                                const KernelConfig &Cfg,
+                                                std::uint64_t Seed = 0x5eed) {
+  using namespace simd;
+  NodeId N = G.numNodes();
+  std::vector<std::int32_t> State(static_cast<std::size_t>(N), MisUndecided);
+  if (N == 0)
+    return State;
+
+  // Deterministic per-node priorities; ties broken by node id below.
+  std::vector<std::int32_t> Prio(static_cast<std::size_t>(N));
+  for (NodeId I = 0; I < N; ++I)
+    Prio[static_cast<std::size_t>(I)] = static_cast<std::int32_t>(
+        hashMix64(Seed ^ static_cast<std::uint64_t>(I)) & 0x7fffffff);
+
+  std::size_t Cap = static_cast<std::size_t>(N) + 64;
+  WorklistPair WL(Cap);
+  for (NodeId I = 0; I < N; ++I)
+    WL.in().pushSerial(I);
+  auto Locals = makeTaskLocals(Cfg);
+
+  // Beats = true where (PrioA, IdA) > (PrioB, IdB).
+  auto Beats = [&](VInt<BK> PrioA, VInt<BK> IdA, VInt<BK> PrioB,
+                   VInt<BK> IdB) -> VMask<BK> {
+    return (PrioA > PrioB) | ((PrioA == PrioB) & (IdA > IdB));
+  };
+
+  TaskFn MarkCandidates = [&](int TaskIdx, int TaskCount) {
+    forEachWorklistSlice<BK>(
+        Cfg, WL.in().items(), WL.in().size(), TaskIdx, TaskCount,
+        [&](VInt<BK> Node, VMask<BK> Act) {
+          scatter<BK>(State.data(), Node, splat<BK>(MisCandidate), Act);
+        });
+  };
+
+  TaskFn DemoteLosers = [&](int TaskIdx, int TaskCount) {
+    TaskLocal &TL = *Locals[TaskIdx];
+    auto OnEdge = [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
+      VInt<BK> SrcState = gather<BK>(State.data(), Src, EAct);
+      VInt<BK> DstState = gather<BK>(State.data(), Dst, EAct);
+      VMask<BK> BothCand = EAct & (SrcState == splat<BK>(MisCandidate)) &
+                           (DstState == splat<BK>(MisCandidate));
+      if (!any(BothCand))
+        return;
+      VInt<BK> SrcPrio = gather<BK>(Prio.data(), Src, BothCand);
+      VInt<BK> DstPrio = gather<BK>(Prio.data(), Dst, BothCand);
+      VMask<BK> SrcWins = Beats(SrcPrio, Src, DstPrio, Dst);
+      // Demote the loser endpoint of each candidate-candidate edge.
+      scatter<BK>(State.data(), Dst, splat<BK>(MisUndecided),
+                  BothCand & SrcWins);
+      scatter<BK>(State.data(), Src, splat<BK>(MisUndecided),
+                  andNot(BothCand, SrcWins));
+    };
+    forEachWorklistSlice<BK>(Cfg, WL.in().items(), WL.in().size(), TaskIdx,
+                             TaskCount,
+                             [&](VInt<BK> Node, VMask<BK> Act) {
+                               visitEdges<BK>(Cfg, G, Node, Act, TL.Np,
+                                              OnEdge);
+                             });
+    flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
+  };
+
+  TaskFn PromoteSurvivors = [&](int TaskIdx, int TaskCount) {
+    forEachWorklistSlice<BK>(
+        Cfg, WL.in().items(), WL.in().size(), TaskIdx, TaskCount,
+        [&](VInt<BK> Node, VMask<BK> Act) {
+          VInt<BK> S = gather<BK>(State.data(), Node, Act);
+          scatter<BK>(State.data(), Node, splat<BK>(MisIn),
+                      Act & (S == splat<BK>(MisCandidate)));
+        });
+  };
+
+  TaskFn ExcludeAndRebuild = [&](int TaskIdx, int TaskCount) {
+    TaskLocal &TL = *Locals[TaskIdx];
+    // Exclude neighbours of new members (edge-local, idempotent stores).
+    auto OnEdge = [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
+      VInt<BK> SrcState = gather<BK>(State.data(), Src, EAct);
+      VInt<BK> DstState = gather<BK>(State.data(), Dst, EAct);
+      VMask<BK> Exclude = EAct & (SrcState == splat<BK>(MisUndecided)) &
+                          (DstState == splat<BK>(MisIn));
+      scatter<BK>(State.data(), Src, splat<BK>(MisOut), Exclude);
+    };
+    forEachWorklistSlice<BK>(Cfg, WL.in().items(), WL.in().size(), TaskIdx,
+                             TaskCount,
+                             [&](VInt<BK> Node, VMask<BK> Act) {
+                               visitEdges<BK>(Cfg, G, Node, Act, TL.Np,
+                                              OnEdge);
+                             });
+    flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
+  };
+
+  TaskFn Rebuild = [&](int TaskIdx, int TaskCount) {
+    forEachWorklistSlice<BK>(
+        Cfg, WL.in().items(), WL.in().size(), TaskIdx, TaskCount,
+        [&](VInt<BK> Node, VMask<BK> Act) {
+          VInt<BK> S = gather<BK>(State.data(), Node, Act);
+          VMask<BK> Still = Act & (S == splat<BK>(MisUndecided));
+          if (any(Still))
+            pushFrontier<BK>(Cfg, WL.out(), nullptr, Node, Still);
+        });
+  };
+
+  runPipe(Cfg,
+          std::vector<TaskFn>{MarkCandidates, DemoteLosers, PromoteSurvivors,
+                              ExcludeAndRebuild, Rebuild},
+          [&] {
+            WL.swap();
+            return !WL.in().empty();
+          });
+  return State;
+}
+
+} // namespace egacs
+
+#endif // EGACS_KERNELS_MIS_H

@@ -1,0 +1,102 @@
+//===- kernels/PipeDriver.h - Iterative kernel execution --------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes an IrGL Pipe: an iterative loop whose body is a sequence of
+/// parallel phases. Two translations exist, exactly as in the paper's
+/// Listing 2:
+///
+///  * default: a host loop that launches tasks for every phase of every
+///    iteration (launch overhead on the critical path, Table III);
+///  * Iteration Outlining: one task launch; the loop moves inside the tasks
+///    and a barrier after each phase preserves the original launch
+///    semantics. A designated task evaluates the loop condition between
+///    barriers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_KERNELS_PIPEDRIVER_H
+#define EGACS_KERNELS_PIPEDRIVER_H
+
+#include "kernels/KernelConfig.h"
+#include "runtime/Barrier.h"
+
+#include <atomic>
+#include <cassert>
+#include <functional>
+#include <vector>
+
+namespace egacs {
+
+/// Runs phases repeatedly until \p AdvanceAndContinue returns false.
+///
+/// Per iteration, every phase runs as a full task launch (or a barrier
+/// episode under IO); after the last phase, \p AdvanceAndContinue runs
+/// exactly once on one thread — it typically swaps worklists — and its
+/// return decides whether another iteration starts.
+inline void runPipe(const KernelConfig &Cfg,
+                    const std::vector<TaskFn> &Phases,
+                    const std::function<bool()> &AdvanceAndContinue) {
+  assert(Cfg.TS && "kernel config needs a task system");
+  assert(!Phases.empty() && "pipe needs at least one phase");
+
+  if (!Cfg.IterationOutlining) {
+    for (int Iter = 0; Iter < Cfg.MaxIterations; ++Iter) {
+      for (const TaskFn &Phase : Phases)
+        Cfg.TS->launch(Cfg.NumTasks, Phase);
+      if (!AdvanceAndContinue())
+        return;
+    }
+    return;
+  }
+
+  assert(Cfg.NumTasks <= Cfg.TS->concurrency() &&
+         "outlined pipes barrier-sync; tasks must all run concurrently");
+  Barrier Bar(Cfg.NumTasks);
+  std::atomic<bool> Done{false};
+  Cfg.TS->launch(Cfg.NumTasks, [&](int TaskIdx, int TaskCount) {
+    for (int Iter = 0; Iter < Cfg.MaxIterations; ++Iter) {
+      for (const TaskFn &Phase : Phases) {
+        Phase(TaskIdx, TaskCount);
+        Bar.wait();
+      }
+      if (TaskIdx == 0)
+        Done.store(!AdvanceAndContinue(), std::memory_order_release);
+      Bar.wait();
+      if (Done.load(std::memory_order_acquire))
+        return;
+    }
+  });
+}
+
+/// Convenience overload for single-phase pipes.
+inline void runPipe(const KernelConfig &Cfg, const TaskFn &Phase,
+                    const std::function<bool()> &AdvanceAndContinue) {
+  runPipe(Cfg, std::vector<TaskFn>{Phase}, AdvanceAndContinue);
+}
+
+/// Splits [0, Size) into NumTasks contiguous blocks and returns task
+/// TaskIdx's [Begin, End) (the Listing 1 data decomposition).
+struct TaskRange {
+  std::int64_t Begin;
+  std::int64_t End;
+
+  static TaskRange block(std::int64_t Size, int TaskIdx, int TaskCount) {
+    std::int64_t PerTask = (Size + TaskCount - 1) / TaskCount;
+    std::int64_t Begin = static_cast<std::int64_t>(TaskIdx) * PerTask;
+    std::int64_t End = Begin + PerTask;
+    if (Begin > Size)
+      Begin = Size;
+    if (End > Size)
+      End = Size;
+    return {Begin, End};
+  }
+};
+
+} // namespace egacs
+
+#endif // EGACS_KERNELS_PIPEDRIVER_H

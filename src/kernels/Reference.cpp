@@ -1,0 +1,219 @@
+//===- kernels/Reference.cpp - Serial verification oracles ----------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Reference.h"
+
+#include "kernels/KernelUtil.h"
+#include "kernels/Mis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+using namespace egacs;
+
+std::vector<std::int32_t> egacs::refBfs(const Csr &G, NodeId Source) {
+  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
+                                 InfDist);
+  if (G.numNodes() == 0)
+    return Dist;
+  std::queue<NodeId> Queue;
+  Dist[static_cast<std::size_t>(Source)] = 0;
+  Queue.push(Source);
+  while (!Queue.empty()) {
+    NodeId U = Queue.front();
+    Queue.pop();
+    std::int32_t Next = Dist[static_cast<std::size_t>(U)] + 1;
+    for (NodeId V : G.neighbors(U)) {
+      if (Dist[static_cast<std::size_t>(V)] != InfDist)
+        continue;
+      Dist[static_cast<std::size_t>(V)] = Next;
+      Queue.push(V);
+    }
+  }
+  return Dist;
+}
+
+std::vector<std::int32_t> egacs::refSssp(const Csr &G, NodeId Source) {
+  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
+                                 InfDist);
+  if (G.numNodes() == 0)
+    return Dist;
+  using Entry = std::pair<std::int32_t, NodeId>; // (dist, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> Heap;
+  Dist[static_cast<std::size_t>(Source)] = 0;
+  Heap.push({0, Source});
+  while (!Heap.empty()) {
+    auto [D, U] = Heap.top();
+    Heap.pop();
+    if (D != Dist[static_cast<std::size_t>(U)])
+      continue;
+    auto Neighbors = G.neighbors(U);
+    auto Weights = G.weights(U);
+    for (std::size_t I = 0; I < Neighbors.size(); ++I) {
+      std::int32_t Cand = D + Weights[I];
+      NodeId V = Neighbors[I];
+      if (Cand < Dist[static_cast<std::size_t>(V)]) {
+        Dist[static_cast<std::size_t>(V)] = Cand;
+        Heap.push({Cand, V});
+      }
+    }
+  }
+  return Dist;
+}
+
+std::vector<std::int32_t> egacs::refConnectedComponents(const Csr &G) {
+  std::vector<std::int32_t> Label(static_cast<std::size_t>(G.numNodes()), -1);
+  std::vector<NodeId> Stack;
+  for (NodeId Root = 0; Root < G.numNodes(); ++Root) {
+    if (Label[static_cast<std::size_t>(Root)] != -1)
+      continue;
+    // Roots are visited in increasing id order, so the component label is
+    // the minimum node id of the component.
+    Label[static_cast<std::size_t>(Root)] = Root;
+    Stack.push_back(Root);
+    while (!Stack.empty()) {
+      NodeId U = Stack.back();
+      Stack.pop_back();
+      for (NodeId V : G.neighbors(U)) {
+        if (Label[static_cast<std::size_t>(V)] != -1)
+          continue;
+        Label[static_cast<std::size_t>(V)] = Root;
+        Stack.push_back(V);
+      }
+    }
+  }
+  return Label;
+}
+
+std::int64_t egacs::refTriangleCount(const Csr &G) {
+  // Count u < v < w orderings with sorted adjacency intersections.
+  Csr Sorted = G.sortedByDestination();
+  std::int64_t Count = 0;
+  for (NodeId U = 0; U < Sorted.numNodes(); ++U) {
+    auto Nu = Sorted.neighbors(U);
+    for (NodeId V : Nu) {
+      if (V <= U)
+        continue;
+      auto Nv = Sorted.neighbors(V);
+      std::size_t Iu = 0, Iv = 0;
+      while (Iu < Nu.size() && Iv < Nv.size()) {
+        if (Nu[Iu] < Nv[Iv]) {
+          ++Iu;
+        } else if (Nu[Iu] > Nv[Iv]) {
+          ++Iv;
+        } else {
+          if (Nu[Iu] > V)
+            ++Count;
+          ++Iu;
+          ++Iv;
+        }
+      }
+    }
+  }
+  return Count;
+}
+
+std::vector<float> egacs::refPageRank(const Csr &G, float Damping,
+                                      float Tolerance, int MaxRounds) {
+  NodeId N = G.numNodes();
+  std::vector<float> Rank(static_cast<std::size_t>(N),
+                          N > 0 ? 1.0f / static_cast<float>(N) : 0.0f);
+  if (N == 0)
+    return Rank;
+  std::vector<float> Accum(static_cast<std::size_t>(N), 0.0f);
+  const float Base = (1.0f - Damping) / static_cast<float>(N);
+  for (int Round = 0; Round < MaxRounds; ++Round) {
+    for (NodeId U = 0; U < N; ++U) {
+      EdgeId Deg = G.degree(U);
+      if (Deg == 0)
+        continue;
+      float C = Rank[static_cast<std::size_t>(U)] / static_cast<float>(Deg);
+      for (NodeId V : G.neighbors(U))
+        Accum[static_cast<std::size_t>(V)] += C;
+    }
+    float MaxDiff = 0.0f;
+    for (NodeId U = 0; U < N; ++U) {
+      float New = Base + Damping * Accum[static_cast<std::size_t>(U)];
+      MaxDiff = std::max(
+          MaxDiff, std::fabs(New - Rank[static_cast<std::size_t>(U)]));
+      Rank[static_cast<std::size_t>(U)] = New;
+      Accum[static_cast<std::size_t>(U)] = 0.0f;
+    }
+    if (MaxDiff <= Tolerance)
+      break;
+  }
+  return Rank;
+}
+
+void egacs::refMstWeight(const Csr &G, std::int64_t &TotalWeight,
+                         std::int64_t &NumEdges) {
+  TotalWeight = 0;
+  NumEdges = 0;
+  struct KruskalEdge {
+    Weight W;
+    NodeId U, V;
+  };
+  std::vector<KruskalEdge> Edges;
+  Edges.reserve(static_cast<std::size_t>(G.numEdges()));
+  for (NodeId U = 0; U < G.numNodes(); ++U) {
+    auto Neighbors = G.neighbors(U);
+    auto Weights = G.weights(U);
+    for (std::size_t I = 0; I < Neighbors.size(); ++I)
+      Edges.push_back({Weights[I], U, Neighbors[I]});
+  }
+  std::sort(Edges.begin(), Edges.end(),
+            [](const KruskalEdge &A, const KruskalEdge &B) {
+              return A.W < B.W;
+            });
+
+  std::vector<NodeId> Parent(static_cast<std::size_t>(G.numNodes()));
+  std::iota(Parent.begin(), Parent.end(), 0);
+  auto Find = [&](NodeId X) {
+    while (Parent[static_cast<std::size_t>(X)] != X) {
+      Parent[static_cast<std::size_t>(X)] =
+          Parent[static_cast<std::size_t>(
+              Parent[static_cast<std::size_t>(X)])];
+      X = Parent[static_cast<std::size_t>(X)];
+    }
+    return X;
+  };
+  for (const KruskalEdge &E : Edges) {
+    NodeId Ru = Find(E.U), Rv = Find(E.V);
+    if (Ru == Rv)
+      continue;
+    Parent[static_cast<std::size_t>(Ru)] = Rv;
+    TotalWeight += E.W;
+    ++NumEdges;
+  }
+}
+
+bool egacs::isValidMis(const Csr &G, const std::vector<std::int32_t> &State) {
+  if (State.size() != static_cast<std::size_t>(G.numNodes()))
+    return false;
+  for (NodeId U = 0; U < G.numNodes(); ++U) {
+    std::int32_t S = State[static_cast<std::size_t>(U)];
+    if (S != MisIn && S != MisOut)
+      return false; // undecided or corrupted state
+    if (S == MisIn) {
+      for (NodeId V : G.neighbors(U))
+        if (V != U && State[static_cast<std::size_t>(V)] == MisIn)
+          return false; // not independent
+      continue;
+    }
+    bool HasMemberNeighbor = false;
+    for (NodeId V : G.neighbors(U))
+      if (State[static_cast<std::size_t>(V)] == MisIn) {
+        HasMemberNeighbor = true;
+        break;
+      }
+    if (!HasMemberNeighbor)
+      return false; // not maximal
+  }
+  return true;
+}

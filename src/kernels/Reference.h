@@ -1,0 +1,57 @@
+//===- kernels/Reference.h - Serial verification oracles --------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain serial implementations of every benchmark, independent of the SPMD
+/// machinery, used as correctness oracles ("we collect the outputs and check
+/// them against the reference output", paper Section IV). These are *not*
+/// the paper's serial baselines — those are the SPMD kernels run at width 1
+/// with one task — they exist purely for verification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_KERNELS_REFERENCE_H
+#define EGACS_KERNELS_REFERENCE_H
+
+#include "graph/Csr.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace egacs {
+
+/// Hop distances from \p Source (InfDist where unreachable).
+std::vector<std::int32_t> refBfs(const Csr &G, NodeId Source);
+
+/// Dijkstra distances from \p Source (InfDist where unreachable).
+std::vector<std::int32_t> refSssp(const Csr &G, NodeId Source);
+
+/// Connected-component labels; each label is the minimum node id of its
+/// component (matching label-propagation's fixpoint on symmetric graphs).
+std::vector<std::int32_t> refConnectedComponents(const Csr &G);
+
+/// Triangle count of the symmetric graph.
+std::int64_t refTriangleCount(const Csr &G);
+
+/// PageRank with the same push recurrence and stopping rule as the kernel.
+std::vector<float> refPageRank(const Csr &G, float Damping, float Tolerance,
+                               int MaxRounds);
+
+/// Minimum-spanning-forest total weight and edge count (Kruskal). Every
+/// minimum spanning forest has the same total weight, so this validates
+/// Bořůvka even when weights tie.
+void refMstWeight(const Csr &G, std::int64_t &TotalWeight,
+                  std::int64_t &NumEdges);
+
+/// Verifies that \p State (MisIn/MisOut per node) is an independent set
+/// (no two adjacent members) that is maximal (every excluded node has a
+/// member neighbour) and total (no undecided nodes).
+bool isValidMis(const Csr &G, const std::vector<std::int32_t> &State);
+
+} // namespace egacs
+
+#endif // EGACS_KERNELS_REFERENCE_H

@@ -1,0 +1,110 @@
+//===- kernels/Sssp.h - Near-far single-source shortest paths ---*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SSSP-NF: the near-far worklist algorithm the paper evaluates (Table
+/// VIII), a delta-stepping relative with two priority piles. Nodes whose
+/// tentative distance falls below the current threshold go to the "near"
+/// pile and are processed immediately; the rest wait in "far" until the
+/// threshold advances by DELTA. The same input-specific DELTA is used across
+/// frameworks in the paper's comparisons.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_KERNELS_SSSP_H
+#define EGACS_KERNELS_SSSP_H
+
+#include "kernels/KernelUtil.h"
+
+#include <vector>
+
+namespace egacs {
+
+/// sssp-nf: near-far SSSP from \p Source over non-negative edge weights.
+/// Returns tentative distances (InfDist for unreachable nodes).
+template <typename BK>
+std::vector<std::int32_t> ssspNf(const Csr &G, const KernelConfig &Cfg,
+                                 NodeId Source) {
+  using namespace simd;
+  assert(G.hasWeights() && "sssp needs edge weights");
+  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
+                                 InfDist);
+  if (G.numNodes() == 0)
+    return Dist;
+  Dist[static_cast<std::size_t>(Source)] = 0;
+
+  // Every successful relaxation pushes once; near-far with positive weights
+  // keeps re-relaxations rare, so 2(M+N) leaves ample headroom (reserve()
+  // aborts rather than overruns if an adversarial input exceeds it).
+  std::size_t Cap = 2 * (static_cast<std::size_t>(G.numEdges()) +
+                         static_cast<std::size_t>(G.numNodes())) +
+                    64;
+  WorklistPair Near(Cap);
+  Worklist Far(Cap), FarNext(Cap);
+  Near.in().pushSerial(Source);
+  auto Locals = makeTaskLocals(Cfg);
+  std::int32_t Threshold = Cfg.Delta;
+
+  runPipe(
+      Cfg,
+      TaskFn([&](int TaskIdx, int TaskCount) {
+        TaskLocal &TL = *Locals[TaskIdx];
+        VInt<BK> Thresh = splat<BK>(Threshold);
+        auto OnEdge = [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK> EIdx,
+                          VMask<BK> EAct) {
+          VInt<BK> Du = gather<BK>(Dist.data(), Src, EAct);
+          VInt<BK> W = gather<BK>(G.edgeWeight(), EIdx, EAct);
+          VInt<BK> Cand = Du + W;
+          VMask<BK> Won = atomicMinVector<BK>(Dist.data(), Dst, Cand, EAct);
+          if (!any(Won))
+            return;
+          VMask<BK> ToNear = Won & (Cand < Thresh);
+          VMask<BK> ToFar = andNot(Won, ToNear);
+          if (any(ToNear))
+            pushFrontier<BK>(Cfg, Near.out(), nullptr, Dst, ToNear);
+          if (any(ToFar))
+            pushFrontier<BK>(Cfg, Far, nullptr, Dst, ToFar);
+        };
+        forEachWorklistSlice<BK>(Cfg, Near.in().items(), Near.in().size(),
+                                 TaskIdx, TaskCount,
+                                 [&](VInt<BK> Node, VMask<BK> Act) {
+                                   visitEdges<BK>(Cfg, G, Node, Act, TL.Np,
+                                                  OnEdge);
+                                 });
+        flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
+      }),
+      [&] {
+        Near.swap();
+        if (!Near.in().empty())
+          return true;
+        // Near pile exhausted: advance the threshold and split the far pile
+        // until some node becomes near (or everything is done).
+        while (Near.in().empty() && !Far.empty()) {
+          std::int32_t OldThreshold = Threshold;
+          Threshold += Cfg.Delta;
+          std::int32_t FarSize = Far.size();
+          for (std::int32_t I = 0; I < FarSize; ++I) {
+            NodeId N = Far[I];
+            std::int32_t D = Dist[static_cast<std::size_t>(N)];
+            if (D < OldThreshold)
+              continue; // settled in an earlier band; stale entry
+            if (D < Threshold)
+              Near.in().pushSerial(N);
+            else
+              FarNext.pushSerial(N);
+          }
+          Far.clear();
+          std::swap(Far, FarNext);
+        }
+        return !Near.in().empty();
+      });
+  return Dist;
+}
+
+} // namespace egacs
+
+#endif // EGACS_KERNELS_SSSP_H

@@ -1,0 +1,71 @@
+//===- runtime/Barrier.h - Sense-reversing spin barrier ---------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The barrier used by Iteration Outlining: once the iterative Pipe loop is
+/// moved inside a single task launch, the per-iteration launch/join pair is
+/// replaced by one barrier episode per iteration (paper Listing 2 inserts
+/// "barriers after each original kernel invocation").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_RUNTIME_BARRIER_H
+#define EGACS_RUNTIME_BARRIER_H
+
+#include "support/Stats.h"
+
+#include <atomic>
+#include <thread>
+
+namespace egacs {
+
+/// A reusable sense-reversing barrier. Spins briefly, then yields, so it
+/// stays correct (if slower) when there are more tasks than cores.
+class Barrier {
+public:
+  explicit Barrier(int NumParticipants)
+      : Participants(NumParticipants), Remaining(NumParticipants) {}
+
+  Barrier(const Barrier &) = delete;
+  Barrier &operator=(const Barrier &) = delete;
+
+  /// Resets the participant count; only valid while no thread is waiting.
+  void reset(int NumParticipants) {
+    Participants = NumParticipants;
+    Remaining.store(NumParticipants, std::memory_order_relaxed);
+  }
+
+  /// Blocks until all participants have arrived.
+  void wait() {
+    EGACS_STAT_ADD(BarrierWaits, 1);
+    bool MySense = !Sense.load(std::memory_order_relaxed);
+    if (Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arriver: reset the count and flip the sense to release others.
+      Remaining.store(Participants, std::memory_order_relaxed);
+      Sense.store(MySense, std::memory_order_release);
+      return;
+    }
+    int Spins = 0;
+    while (Sense.load(std::memory_order_acquire) != MySense) {
+      if (++Spins > 64) {
+        std::this_thread::yield();
+        Spins = 0;
+      }
+    }
+  }
+
+  int participants() const { return Participants; }
+
+private:
+  int Participants;
+  std::atomic<int> Remaining;
+  std::atomic<bool> Sense{false};
+};
+
+} // namespace egacs
+
+#endif // EGACS_RUNTIME_BARRIER_H

@@ -1,0 +1,66 @@
+//===- runtime/Fibers.h - Thread-block emulation via fibers -----*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fibers emulate CUDA thread blocks on ISPC tasks (paper Section III-B1):
+/// an extra loop around the work loop multiplexes several "virtual tasks" on
+/// one OS thread, with per-fiber state kept in local arrays. Variables
+/// declared before the fiber loop act as CUDA shared memory, and splitting
+/// the fiber loop at a point acts as __syncthreads.
+///
+/// When fibers are enabled, an ISPC task corresponds to a CUDA thread block,
+/// a fiber to a warp, and a fiber-loop iteration to a group of CUDA threads
+/// (virtual program instances).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_RUNTIME_FIBERS_H
+#define EGACS_RUNTIME_FIBERS_H
+
+#include <cstdint>
+
+namespace egacs {
+
+/// Fiber configuration shared by kernels and schedulers.
+struct FiberConfig {
+  /// Paper's empirically chosen resource cap (Section III-B1).
+  static constexpr int MaxNumFibersPerTask = 256;
+
+  /// The paper's dynamic fiber-count formula:
+  ///   NumFibersPerTask =
+  ///     MIN(MaxNumFibersPerTask, NumOfItemsInWL / (SIMDWidth * NumOfTasks))
+  /// clamped to at least one fiber so every task makes progress. \p MaxCap
+  /// overrides the resource cap for ablation studies.
+  static int numFibersPerTask(std::int64_t NumItemsInWorklist, int SimdWidth,
+                              int NumTasks,
+                              int MaxCap = MaxNumFibersPerTask) {
+    std::int64_t Denominator =
+        static_cast<std::int64_t>(SimdWidth) * NumTasks;
+    std::int64_t Fibers =
+        Denominator > 0 ? NumItemsInWorklist / Denominator : 1;
+    if (Fibers < 1)
+      Fibers = 1;
+    if (Fibers > MaxCap)
+      Fibers = MaxCap;
+    return static_cast<int>(Fibers);
+  }
+};
+
+/// Runs \p Body once per fiber: Body(FiberIdx, NumFibers). State declared by
+/// the caller before invoking this function is "shared memory"; per-fiber
+/// state lives in caller-managed arrays indexed by FiberIdx. A sequence of
+/// forEachFiber calls with caller code in between realizes __syncthreads
+/// partitioning (all fibers run to the split point before any continues).
+template <typename FnT>
+void forEachFiber(int NumFibers, FnT &&Body) {
+  for (int F = 0; F < NumFibers; ++F)
+    Body(F, NumFibers);
+}
+
+} // namespace egacs
+
+#endif // EGACS_RUNTIME_FIBERS_H

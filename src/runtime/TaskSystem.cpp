@@ -1,0 +1,251 @@
+//===- runtime/TaskSystem.cpp - ISPC-style task launching -----------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TaskSystem.h"
+
+#include "support/Stats.h"
+
+#include <cassert>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+using namespace egacs;
+
+TaskSystem::~TaskSystem() = default;
+
+void egacs::pinCurrentThread(int Cpu) {
+#if defined(__linux__)
+  cpu_set_t Set;
+  CPU_ZERO(&Set);
+  CPU_SET(Cpu % CPU_SETSIZE, &Set);
+  // Best effort: pinning failures (e.g. restricted cpusets) are ignored; the
+  // paper reports pinning is worth only ~2% and is used for SMT studies.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(Set), &Set);
+#else
+  (void)Cpu;
+#endif
+}
+
+static void maybePin(const PinPolicy &Pin, int WorkerIdx) {
+  if (Pin.Enabled)
+    pinCurrentThread(WorkerIdx * Pin.Stride);
+}
+
+//===----------------------------------------------------------------------===//
+// SerialTaskSystem
+//===----------------------------------------------------------------------===//
+
+void SerialTaskSystem::launch(int NumTasks, const TaskFn &Fn) {
+  EGACS_STAT_ADD(TaskLaunches, 1);
+  for (int T = 0; T < NumTasks; ++T)
+    Fn(T, NumTasks);
+}
+
+//===----------------------------------------------------------------------===//
+// SpawnTaskSystem
+//===----------------------------------------------------------------------===//
+
+SpawnTaskSystem::SpawnTaskSystem(int NumWorkers, PinPolicy Pin)
+    : NumWorkers(NumWorkers > 0 ? NumWorkers : 1), Pin(Pin) {}
+
+void SpawnTaskSystem::launch(int NumTasks, const TaskFn &Fn) {
+  EGACS_STAT_ADD(TaskLaunches, 1);
+  assert(NumTasks > 0 && "launch needs at least one task");
+  int Threads = NumTasks < NumWorkers ? NumTasks : NumWorkers;
+  std::atomic<int> NextTask{0};
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  auto Work = [&](int WorkerIdx) {
+    maybePin(Pin, WorkerIdx);
+    for (;;) {
+      int T = NextTask.fetch_add(1, std::memory_order_relaxed);
+      if (T >= NumTasks)
+        return;
+      Fn(T, NumTasks);
+    }
+  };
+  // Every worker is a freshly created OS thread — the defining cost of the
+  // stock pthread task system (Table II).
+  for (int W = 0; W < Threads; ++W)
+    Pool.emplace_back(Work, W);
+  for (std::thread &Th : Pool)
+    Th.join();
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPoolTaskSystem
+//===----------------------------------------------------------------------===//
+
+ThreadPoolTaskSystem::ThreadPoolTaskSystem(int NumWorkers, PinPolicy Pin) {
+  if (NumWorkers < 1)
+    NumWorkers = 1;
+  Workers.reserve(NumWorkers);
+  for (int W = 0; W < NumWorkers; ++W)
+    Workers.emplace_back([this, W, Pin] {
+      maybePin(Pin, W);
+      workerMain(W);
+    });
+}
+
+ThreadPoolTaskSystem::~ThreadPoolTaskSystem() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &Th : Workers)
+    Th.join();
+}
+
+void ThreadPoolTaskSystem::workerMain(int) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  std::uint64_t SeenEpoch = 0;
+  for (;;) {
+    WorkCv.wait(Lock, [&] { return ShuttingDown || LaunchEpoch != SeenEpoch; });
+    if (ShuttingDown)
+      return;
+    SeenEpoch = LaunchEpoch;
+    const TaskFn *Fn = Current;
+    if (!Fn)
+      continue; // Slept through the whole epoch; its launch already ended.
+    // The snapshot below is taken under the lock, so Fn/NumTasks/NextTask
+    // all belong to the same (current) epoch.
+    int NumTasks = CurrentNumTasks;
+    ++ActiveWorkers;
+    Lock.unlock();
+    for (;;) {
+      int T = NextTask.fetch_add(1, std::memory_order_relaxed);
+      if (T >= NumTasks)
+        break;
+      (*Fn)(T, NumTasks);
+    }
+    Lock.lock();
+    if (--ActiveWorkers == 0)
+      DoneCv.notify_all();
+  }
+}
+
+void ThreadPoolTaskSystem::launch(int NumTasks, const TaskFn &Fn) {
+  EGACS_STAT_ADD(TaskLaunches, 1);
+  assert(NumTasks > 0 && "launch needs at least one task");
+  std::unique_lock<std::mutex> Lock(Mu);
+  Current = &Fn;
+  CurrentNumTasks = NumTasks;
+  NextTask.store(0, std::memory_order_relaxed);
+  ++LaunchEpoch;
+  WorkCv.notify_all();
+  // Wait for the epoch's tasks to drain: all tasks dispatched and every
+  // participating worker back to idle.
+  DoneCv.wait(Lock, [&] {
+    return ActiveWorkers == 0 &&
+           NextTask.load(std::memory_order_relaxed) >= CurrentNumTasks;
+  });
+  Current = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// SpinPoolTaskSystem
+//===----------------------------------------------------------------------===//
+
+SpinPoolTaskSystem::SpinPoolTaskSystem(int NumWorkers, PinPolicy Pin) {
+  if (NumWorkers < 1)
+    NumWorkers = 1;
+  Workers.reserve(NumWorkers);
+  for (int W = 0; W < NumWorkers; ++W)
+    Workers.emplace_back([this, W, Pin] {
+      maybePin(Pin, W);
+      workerMain(W);
+    });
+}
+
+SpinPoolTaskSystem::~SpinPoolTaskSystem() {
+  ShuttingDown.store(true, std::memory_order_release);
+  Epoch.fetch_add(1, std::memory_order_release);
+  for (std::thread &Th : Workers)
+    Th.join();
+}
+
+void SpinPoolTaskSystem::workerMain(int) {
+  std::uint64_t SeenEpoch = 0;
+  for (;;) {
+    int Spins = 0;
+    while (Epoch.load(std::memory_order_acquire) == SeenEpoch) {
+      if (++Spins > 256) {
+        std::this_thread::yield();
+        Spins = 0;
+      }
+    }
+    if (ShuttingDown.load(std::memory_order_acquire))
+      return;
+    SeenEpoch = Epoch.load(std::memory_order_acquire);
+    const TaskFn *Fn = Current;
+    int NumTasks = CurrentNumTasks;
+    for (;;) {
+      int T = NextTask.fetch_add(1, std::memory_order_relaxed);
+      if (T >= NumTasks)
+        break;
+      (*Fn)(T, NumTasks);
+    }
+    Finished.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void SpinPoolTaskSystem::launch(int NumTasks, const TaskFn &Fn) {
+  EGACS_STAT_ADD(TaskLaunches, 1);
+  assert(NumTasks > 0 && "launch needs at least one task");
+  Current = &Fn;
+  CurrentNumTasks = NumTasks;
+  NextTask.store(0, std::memory_order_relaxed);
+  Finished.store(0, std::memory_order_relaxed);
+  Epoch.fetch_add(1, std::memory_order_release);
+  int NumWorkers = static_cast<int>(Workers.size());
+  int Spins = 0;
+  while (Finished.load(std::memory_order_acquire) != NumWorkers) {
+    if (++Spins > 256) {
+      std::this_thread::yield();
+      Spins = 0;
+    }
+  }
+  Current = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Factory
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<TaskSystem> egacs::makeTaskSystem(TaskSystemKind Kind,
+                                                  int NumWorkers,
+                                                  PinPolicy Pin) {
+  switch (Kind) {
+  case TaskSystemKind::Serial:
+    return std::make_unique<SerialTaskSystem>();
+  case TaskSystemKind::Spawn:
+    return std::make_unique<SpawnTaskSystem>(NumWorkers, Pin);
+  case TaskSystemKind::Pool:
+    return std::make_unique<ThreadPoolTaskSystem>(NumWorkers, Pin);
+  case TaskSystemKind::SpinPool:
+    return std::make_unique<SpinPoolTaskSystem>(NumWorkers, Pin);
+  }
+  assert(false && "invalid task system kind");
+  return std::make_unique<SerialTaskSystem>();
+}
+
+TaskSystemKind egacs::parseTaskSystemKind(const std::string &Name) {
+  if (Name == "serial")
+    return TaskSystemKind::Serial;
+  if (Name == "spawn")
+    return TaskSystemKind::Spawn;
+  if (Name == "pool")
+    return TaskSystemKind::Pool;
+  if (Name == "spin")
+    return TaskSystemKind::SpinPool;
+  assert(false && "unknown task system name");
+  return TaskSystemKind::Serial;
+}

@@ -1,0 +1,126 @@
+//===- sched/NestedParallelism.h - Inspector-executor edge balancing -*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Nested Parallelism (paper Section III-B2, Fig 2): inner-loop (edge)
+/// iterations are redistributed across SIMD lanes so load imbalance between
+/// node degrees no longer idles lanes.
+///
+///  * High/medium-degree nodes (degree >= SIMD width) are processed one node
+///    at a time with the full vector sweeping that node's edge list — the
+///    CUDA thread-block/warp-level schedulers of the original IrGL backend.
+///  * Low-degree nodes' edges are packed with prefix-sum-style compression
+///    into a staging buffer and then swept with full vectors — the
+///    fine-grained scheduler.
+///
+/// The compiler (src/irgl) inserts this inspector-executor around edge loops
+/// when the NP optimization is on; hand-written kernels call npForEachEdge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_SCHED_NESTEDPARALLELISM_H
+#define EGACS_SCHED_NESTEDPARALLELISM_H
+
+#include "sched/VertexLoop.h"
+#include "support/AlignedBuffer.h"
+
+#include <cstdint>
+
+namespace egacs {
+
+/// Per-task staging storage for the fine-grained (low-degree) scheduler.
+/// One instance per task; reused across rounds.
+class NpScratch {
+public:
+  /// \p Capacity bounds the number of buffered (src, edge) pairs; bigger
+  /// buffers pack better across vertex vectors at the cost of locality.
+  explicit NpScratch(std::size_t Capacity = 4096)
+      : SrcBuf(Capacity), EdgeBuf(Capacity) {}
+
+  std::int32_t size() const { return Count; }
+  std::size_t capacity() const { return SrcBuf.size(); }
+
+  template <typename BK>
+  void append(simd::VInt<BK> Src, simd::VInt<BK> Edge, simd::VMask<BK> M) {
+    assert(static_cast<std::size_t>(Count) + BK::Width <= SrcBuf.size() &&
+           "NP scratch overflow");
+    simd::packedStoreActive(SrcBuf.data() + Count, Src, M);
+    Count += simd::packedStoreActive(EdgeBuf.data() + Count, Edge, M);
+  }
+
+  bool needsFlush(int Width) const {
+    return static_cast<std::size_t>(Count) + Width > SrcBuf.size();
+  }
+
+  /// Sweeps the buffered edges with full vectors and empties the buffer.
+  template <typename BK, typename EdgeFnT>
+  void flush(const Csr &G, EdgeFnT &&Fn) {
+    using namespace simd;
+    for (std::int32_t I = 0; I < Count; I += BK::Width) {
+      int Valid = Count - I < BK::Width ? Count - I : BK::Width;
+      VMask<BK> Act = maskFirstN<BK>(Valid);
+      VInt<BK> Src = maskedLoad<BK>(SrcBuf.data() + I, Act);
+      VInt<BK> Edge = maskedLoad<BK>(EdgeBuf.data() + I, Act);
+      recordLaneUtilization<BK>(Act);
+      VInt<BK> Dst = gather<BK>(G.edgeDst(), Edge, Act);
+      Fn(Src, Dst, Edge, Act);
+    }
+    Count = 0;
+  }
+
+private:
+  AlignedBuffer<NodeId> SrcBuf;
+  AlignedBuffer<EdgeId> EdgeBuf;
+  std::int32_t Count = 0;
+};
+
+/// Nested-parallelism edge visit for one vector of nodes. Low-degree edges
+/// are staged in \p Scratch; the caller must Scratch.flush() after its last
+/// vector (and may flush earlier). Fn(Src, Dst, EdgeIdx, Active).
+template <typename BK, typename EdgeFnT>
+void npForEachEdge(const Csr &G, simd::VInt<BK> Node, simd::VMask<BK> Act,
+                   NpScratch &Scratch, EdgeFnT &&Fn) {
+  using namespace simd;
+  VInt<BK> Row = gather<BK>(G.rowStart(), Node, Act);
+  VInt<BK> End = gather<BK>(G.rowStart() + 1, Node, Act);
+  VInt<BK> Deg = End - Row;
+  VMask<BK> Heavy = Act & (Deg >= splat<BK>(BK::Width));
+
+  // Warp/block-level scheduler: full vector over one heavy node at a time.
+  std::uint64_t HeavyBits = maskBits(Heavy);
+  while (HeavyBits) {
+    int L = __builtin_ctzll(HeavyBits);
+    HeavyBits &= HeavyBits - 1;
+    NodeId N = extract(Node, L);
+    EdgeId EBegin = extract(Row, L);
+    EdgeId EEnd = extract(End, L);
+    VInt<BK> SrcV = splat<BK>(N);
+    VInt<BK> Lane = programIndex<BK>();
+    for (EdgeId E = EBegin; E < EEnd; E += BK::Width) {
+      int Valid = EEnd - E < BK::Width ? EEnd - E : BK::Width;
+      VMask<BK> EAct = maskFirstN<BK>(Valid);
+      VInt<BK> EIdx = splat<BK>(E) + Lane;
+      recordLaneUtilization<BK>(EAct);
+      VInt<BK> Dst = maskedLoad<BK>(G.edgeDst() + E, EAct);
+      Fn(SrcV, Dst, EIdx, EAct);
+    }
+  }
+
+  // Fine-grained scheduler: compress low-degree (src, edge) pairs.
+  VMask<BK> Live = andNot(Act, Heavy) & (Row < End);
+  while (any(Live)) {
+    if (Scratch.needsFlush(BK::Width))
+      Scratch.flush<BK>(G, Fn);
+    Scratch.append<BK>(Node, Row, Live);
+    Row = Row + splat<BK>(1);
+    Live = Live & (Row < End);
+  }
+}
+
+} // namespace egacs
+
+#endif // EGACS_SCHED_NESTEDPARALLELISM_H

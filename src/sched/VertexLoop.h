@@ -1,0 +1,79 @@
+//===- sched/VertexLoop.h - Vectorized vertex iteration ---------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers that map outer (vertex) loops onto SIMD vectors with tail
+/// masking, and the baseline per-lane inner (edge) loop. This is the
+/// unoptimized schedule the paper starts from (Listing 3): one vertex per
+/// lane, each lane walking its own edge list, with utilization degrading as
+/// degrees diverge (Table IV).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_SCHED_VERTEXLOOP_H
+#define EGACS_SCHED_VERTEXLOOP_H
+
+#include "graph/Csr.h"
+#include "simd/Ops.h"
+
+#include <cstdint>
+
+namespace egacs {
+
+/// Calls Body(VInt Values, VMask Active) for each Width-sized slice of
+/// Items[Begin, End); the final slice is tail-masked.
+template <typename BK, typename BodyT>
+void forEachVector(const NodeId *Items, std::int64_t Begin, std::int64_t End,
+                   BodyT &&Body) {
+  for (std::int64_t I = Begin; I < End; I += BK::Width) {
+    int Valid = static_cast<int>(End - I < BK::Width ? End - I : BK::Width);
+    simd::VMask<BK> Act = simd::maskFirstN<BK>(Valid);
+    simd::VInt<BK> Values = Valid == BK::Width
+                                ? simd::load<BK>(Items + I)
+                                : simd::maskedLoad<BK>(Items + I, Act);
+    Body(Values, Act);
+  }
+}
+
+/// Calls Body(VInt NodeIds, VMask Active) for each Width-sized slice of the
+/// id range [Begin, End) — topology-driven iteration over all nodes.
+template <typename BK, typename BodyT>
+void forEachNodeVector(std::int64_t Begin, std::int64_t End, BodyT &&Body) {
+  simd::VInt<BK> Lane = simd::programIndex<BK>();
+  for (std::int64_t I = Begin; I < End; I += BK::Width) {
+    int Valid = static_cast<int>(End - I < BK::Width ? End - I : BK::Width);
+    simd::VMask<BK> Act = simd::maskFirstN<BK>(Valid);
+    simd::VInt<BK> Ids =
+        simd::splat<BK>(static_cast<std::int32_t>(I)) + Lane;
+    Body(Ids, Act);
+  }
+}
+
+/// Baseline inner loop: each lane walks the edges of its own node, so the
+/// vector stays live until the highest-degree lane finishes. Calls
+/// Fn(Src, Dst, EdgeIdx, Active) once per edge-vector step.
+///
+/// This is what the Nested Parallelism scheduler replaces.
+template <typename BK, typename EdgeFnT>
+void plainForEachEdge(const Csr &G, simd::VInt<BK> Node, simd::VMask<BK> Act,
+                      EdgeFnT &&Fn) {
+  using namespace simd;
+  VInt<BK> Row = gather<BK>(G.rowStart(), Node, Act);
+  VInt<BK> End = gather<BK>(G.rowStart() + 1, Node, Act);
+  VMask<BK> Live = Act & (Row < End);
+  while (any(Live)) {
+    recordLaneUtilization<BK>(Live);
+    VInt<BK> Dst = gather<BK>(G.edgeDst(), Row, Live);
+    Fn(Node, Dst, Row, Live);
+    Row = Row + splat<BK>(1);
+    Live = Live & (Row < End);
+  }
+}
+
+} // namespace egacs
+
+#endif // EGACS_SCHED_VERTEXLOOP_H

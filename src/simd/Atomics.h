@@ -1,0 +1,184 @@
+//===- simd/Atomics.h - SPMD atomic operations ------------------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three classes of global atomics the paper describes (Section III-C):
+///
+///  1. scalar location, scalar value  -> one hardware atomic
+///     (atomicAddGlobal on a uniform pointer);
+///  2. vector locations, vector values -> a loop of hardware scalar atomics
+///     over active lanes (CPUs have no vector atomic instructions);
+///  3. scalar location, vector values  -> an in-register reduction followed
+///     by a single hardware atomic (reduce-then-atomic).
+///
+/// Lock-free min/CAS variants return the mask of lanes whose update won,
+/// which is what relaxation-based graph kernels (BFS/SSSP/CC/MST) branch on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_SIMD_ATOMICS_H
+#define EGACS_SIMD_ATOMICS_H
+
+#include "simd/Ops.h"
+
+#include <cstdint>
+
+namespace egacs::simd {
+
+// --- Class 1: scalar location, scalar value ---------------------------------
+
+/// Atomic fetch-add on a uniform location; returns the old value.
+inline std::int32_t atomicAddGlobal(std::int32_t *P, std::int32_t V) {
+  return __atomic_fetch_add(P, V, __ATOMIC_RELAXED);
+}
+
+inline std::int64_t atomicAddGlobal64(std::int64_t *P, std::int64_t V) {
+  return __atomic_fetch_add(P, V, __ATOMIC_RELAXED);
+}
+
+/// Atomic min on a uniform location; returns true when the value shrank.
+inline bool atomicMinGlobal(std::int32_t *P, std::int32_t V) {
+  std::int32_t Old = __atomic_load_n(P, __ATOMIC_RELAXED);
+  while (V < Old) {
+    if (__atomic_compare_exchange_n(P, &Old, V, /*weak=*/true,
+                                    __ATOMIC_RELAXED, __ATOMIC_RELAXED))
+      return true;
+  }
+  return false;
+}
+
+/// Atomic max on a uniform location; returns true when the value grew.
+inline bool atomicMaxGlobal(std::int32_t *P, std::int32_t V) {
+  std::int32_t Old = __atomic_load_n(P, __ATOMIC_RELAXED);
+  while (V > Old) {
+    if (__atomic_compare_exchange_n(P, &Old, V, /*weak=*/true,
+                                    __ATOMIC_RELAXED, __ATOMIC_RELAXED))
+      return true;
+  }
+  return false;
+}
+
+/// Atomic min on a uniform 64-bit location; returns true when it shrank.
+/// Bořůvka packs (weight << 32 | edge-id) so minima are unique per edge.
+inline bool atomicMinGlobal64(std::int64_t *P, std::int64_t V) {
+  std::int64_t Old = __atomic_load_n(P, __ATOMIC_RELAXED);
+  while (V < Old) {
+    if (__atomic_compare_exchange_n(P, &Old, V, /*weak=*/true,
+                                    __ATOMIC_RELAXED, __ATOMIC_RELAXED))
+      return true;
+  }
+  return false;
+}
+
+/// Atomic compare-and-swap on a uniform location.
+inline bool atomicCasGlobal(std::int32_t *P, std::int32_t Expected,
+                            std::int32_t Desired) {
+  return __atomic_compare_exchange_n(P, &Expected, Desired, /*weak=*/false,
+                                     __ATOMIC_RELAXED, __ATOMIC_RELAXED);
+}
+
+/// Atomic float add via a CAS loop on the bit pattern (PR's accumulation;
+/// the paper notes PR's "extensive use of cmpxchg").
+inline void atomicAddGlobalF(float *P, float V) {
+  std::uint32_t *Bits = reinterpret_cast<std::uint32_t *>(P);
+  std::uint32_t Old = __atomic_load_n(Bits, __ATOMIC_RELAXED);
+  for (;;) {
+    float OldF;
+    __builtin_memcpy(&OldF, &Old, sizeof(float));
+    float NewF = OldF + V;
+    std::uint32_t New;
+    __builtin_memcpy(&New, &NewF, sizeof(float));
+    if (__atomic_compare_exchange_n(Bits, &Old, New, /*weak=*/true,
+                                    __ATOMIC_RELAXED, __ATOMIC_RELAXED))
+      return;
+  }
+}
+
+// --- Class 2: vector locations, vector values ---------------------------------
+
+/// Per-active-lane atomic add Base[Idx[l]] += Val[l]; returns old values.
+template <typename B>
+VInt<B> atomicAddVector(std::int32_t *Base, VInt<B> Idx, VInt<B> Val,
+                        VMask<B> M) {
+  detail::countOps(1);
+  VInt<B> Old = splat<B>(0);
+  std::uint64_t Bits = maskBits(M);
+  while (Bits) {
+    int L = __builtin_ctzll(Bits);
+    Bits &= Bits - 1;
+    std::int32_t OldV =
+        atomicAddGlobal(Base + extract(Idx, L), extract(Val, L));
+    Old = insert(Old, L, OldV);
+  }
+  return Old;
+}
+
+/// Per-active-lane atomic min Base[Idx[l]] = min(., Val[l]); returns the mask
+/// of lanes whose value strictly decreased (i.e. the relaxation succeeded).
+template <typename B>
+VMask<B> atomicMinVector(std::int32_t *Base, VInt<B> Idx, VInt<B> Val,
+                         VMask<B> M) {
+  detail::countOps(1);
+  std::uint64_t Bits = maskBits(M);
+  std::uint64_t Won = 0;
+  while (Bits) {
+    int L = __builtin_ctzll(Bits);
+    Bits &= Bits - 1;
+    if (atomicMinGlobal(Base + extract(Idx, L), extract(Val, L)))
+      Won |= std::uint64_t(1) << L;
+  }
+  return maskFromBits<B>(Won);
+}
+
+/// Per-active-lane CAS Base[Idx[l]]: Expected[l] -> Desired[l]; returns the
+/// mask of lanes that won the exchange.
+template <typename B>
+VMask<B> atomicCasVector(std::int32_t *Base, VInt<B> Idx, VInt<B> Expected,
+                         VInt<B> Desired, VMask<B> M) {
+  detail::countOps(1);
+  std::uint64_t Bits = maskBits(M);
+  std::uint64_t Won = 0;
+  while (Bits) {
+    int L = __builtin_ctzll(Bits);
+    Bits &= Bits - 1;
+    if (atomicCasGlobal(Base + extract(Idx, L), extract(Expected, L),
+                        extract(Desired, L)))
+      Won |= std::uint64_t(1) << L;
+  }
+  return maskFromBits<B>(Won);
+}
+
+/// Per-active-lane atomic float add Base[Idx[l]] += Val[l].
+template <typename B>
+void atomicAddVectorF(float *Base, VInt<B> Idx, VFloat<B> Val, VMask<B> M) {
+  detail::countOps(1);
+  std::uint64_t Bits = maskBits(M);
+  while (Bits) {
+    int L = __builtin_ctzll(Bits);
+    Bits &= Bits - 1;
+    atomicAddGlobalF(Base + extract(Idx, L), extractF(Val, L));
+  }
+}
+
+// --- Class 3: scalar location, vector values -----------------------------------
+
+/// Reduces the active lanes of \p Val in registers, then issues exactly one
+/// hardware atomic; returns the pre-add value of *P.
+template <typename B>
+std::int32_t atomicAddReduce(std::int32_t *P, VInt<B> Val, VMask<B> M) {
+  return atomicAddGlobal(P, reduceAdd(Val, M));
+}
+
+/// Reduce-then-atomic for float accumulation into a uniform location.
+template <typename B>
+void atomicAddReduceF(float *P, VFloat<B> Val, VMask<B> M) {
+  atomicAddGlobalF(P, reduceAddF(Val, M));
+}
+
+} // namespace egacs::simd
+
+#endif // EGACS_SIMD_ATOMICS_H

@@ -1,0 +1,66 @@
+//===- simd/Backend.cpp - Target names and support queries ----------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simd/Backend.h"
+
+#include "support/CpuInfo.h"
+
+#include <cassert>
+
+using namespace egacs;
+using namespace egacs::simd;
+
+const char *egacs::simd::targetName(TargetKind Kind) {
+  switch (Kind) {
+  case TargetKind::Scalar1:
+    return "scalar-i32x1";
+  case TargetKind::Scalar4:
+    return "avx1-i32x4";
+  case TargetKind::Scalar8:
+    return "avx1-i32x8";
+  case TargetKind::Scalar16:
+    return "avx1-i32x16";
+  case TargetKind::Avx2x4:
+    return "avx2-i32x4";
+  case TargetKind::Avx2x8:
+    return "avx2-i32x8";
+  case TargetKind::Avx2x16:
+    return "avx2-i32x16";
+  case TargetKind::Avx512x8:
+    return "avx512skx-i32x8";
+  case TargetKind::Avx512x16:
+    return "avx512skx-i32x16";
+  }
+  assert(false && "invalid target kind");
+  return "<invalid>";
+}
+
+bool egacs::simd::targetSupported(TargetKind Kind) {
+  switch (Kind) {
+  case TargetKind::Scalar1:
+  case TargetKind::Scalar4:
+  case TargetKind::Scalar8:
+  case TargetKind::Scalar16:
+    return true;
+  case TargetKind::Avx2x4:
+  case TargetKind::Avx2x8:
+  case TargetKind::Avx2x16:
+#ifdef EGACS_HAVE_AVX2
+    return cpuInfo().HasAvx2;
+#else
+    return false;
+#endif
+  case TargetKind::Avx512x8:
+  case TargetKind::Avx512x16:
+#ifdef EGACS_HAVE_AVX512
+    return cpuInfo().HasAvx512f;
+#else
+    return false;
+#endif
+  }
+  return false;
+}

@@ -1,0 +1,76 @@
+//===- simd/Backend.h - SPMD-on-SIMD backend contract -----------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Documents the static interface every SIMD backend implements. Backends
+/// play the role the ISPC code generator plays in the paper: they map the
+/// SPMD abstractions (varying values, lane masks, gathers/scatters,
+/// packed_store_active, reductions) onto a concrete instruction set.
+///
+/// Available backends:
+///  * ScalarBackend<W>  - reference implementation with plain loops. Also
+///                        models the paper's "AVX1" targets, where ISPC must
+///                        emit scalar loops for integer gathers and masking.
+///  * Avx2Backend       - native 8-wide AVX2 (vpgatherdd, blends).
+///  * Avx2HalfBackend   - 4-wide AVX2 on xmm registers.
+///  * Avx512Backend     - native 16-wide AVX512F (opmask predication,
+///                        compress stores, scatters).
+///  * Avx512HalfBackend - 8-wide AVX512VL on ymm registers with opmasks.
+///  * PumpedBackend<B,2>- double-pumped target (e.g. the paper's avx2-i32x16)
+///                        issuing two independent native-width operations.
+///
+/// The interface (illustrated; see ScalarBackend for the authoritative
+/// reference):
+///
+/// \code
+/// struct SomeBackend {
+///   static constexpr int Width;          // SIMD width in 32-bit lanes
+///   static constexpr const char *Name;   // e.g. "avx512-i32x16"
+///   using VInt;                          // varying int32
+///   using VFloat;                        // varying float
+///   using Mask;                          // per-lane execution mask
+///   // splats, iota (programIndex), load/store, masked load/store,
+///   // add/sub/mul/min/max/and/or/xor/shifts, comparisons, select,
+///   // gather/scatter (int and float), reductions (add/min/max),
+///   // mask algebra (and/or/andnot/not/any/all/popcount/bits/fromBits),
+///   // packedStoreActive and compact (lane compression).
+/// };
+/// \endcode
+///
+/// Kernels never touch backends directly; they use the operator wrappers in
+/// simd/Ops.h, which also host the dynamic-operation counters standing in
+/// for the paper's Intel Pin instrumentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_SIMD_BACKEND_H
+#define EGACS_SIMD_BACKEND_H
+
+namespace egacs::simd {
+
+/// Enumerates the runtime-selectable SIMD targets (paper Fig 7's x axis).
+enum class TargetKind {
+  Scalar1,   ///< width 1; with one task this is the paper's "serial" build
+  Scalar4,   ///< models avx1-i32x4 (scalar loops, no gather/predication)
+  Scalar8,   ///< models avx1-i32x8
+  Scalar16,  ///< models avx1-i32x16
+  Avx2x4,    ///< avx2-i32x4
+  Avx2x8,    ///< avx2-i32x8 (native)
+  Avx2x16,   ///< avx2-i32x16 (double-pumped)
+  Avx512x8,  ///< avx512-i32x8 (AVX512VL on ymm)
+  Avx512x16, ///< avx512skx-i32x16 (native)
+};
+
+/// Returns the ISPC-style target name for \p Kind.
+const char *targetName(TargetKind Kind);
+
+/// Returns true when the executing CPU supports \p Kind.
+bool targetSupported(TargetKind Kind);
+
+} // namespace egacs::simd
+
+#endif // EGACS_SIMD_BACKEND_H

@@ -1,0 +1,20 @@
+//===- simd/Ops.cpp - SPMD operation counting state -----------------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simd/Ops.h"
+
+namespace {
+
+// Plain global: benchmarks toggle it around counting runs only; concurrent
+// reads of a stale value merely miscount a handful of boundary operations.
+volatile bool OpCountingOn = false;
+
+} // namespace
+
+bool egacs::simd::opCountingEnabled() { return OpCountingOn; }
+
+void egacs::simd::setOpCounting(bool Enabled) { OpCountingOn = Enabled; }

@@ -1,0 +1,356 @@
+//===- simd/Ops.h - SPMD value wrappers and operators -----------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ISPC-style "varying" value types over an arbitrary backend, with operator
+/// overloads so kernels read like the scalar SPMD code the paper's compiler
+/// consumes. Every wrapper optionally bumps a dynamic-operation counter
+/// (enabled via simd::setOpCounting), which is how we reproduce the paper's
+/// Pin-based dynamic instruction counts (Fig 7) without Pin.
+///
+/// Naming follows ISPC where a counterpart exists:
+///   programIndex() -> iota, laneMask() -> mask bits of the execution mask,
+///   packedStoreActive(), reduceAdd(), popcount().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_SIMD_OPS_H
+#define EGACS_SIMD_OPS_H
+
+#include "simd/Backend.h"
+#include "support/Stats.h"
+
+#include <cstdint>
+
+namespace egacs::simd {
+
+/// Returns true when dynamic-operation counting is enabled.
+bool opCountingEnabled();
+
+/// Enables/disables dynamic-operation counting (global, racy-benign).
+void setOpCounting(bool Enabled);
+
+namespace detail {
+inline void countOps(std::uint64_t N) {
+#ifdef EGACS_STATS
+  if (opCountingEnabled())
+    statAdd(Stat::SpmdOps, N);
+#else
+  (void)N;
+#endif
+}
+inline void countGather() {
+#ifdef EGACS_STATS
+  if (opCountingEnabled()) {
+    statAdd(Stat::SpmdOps, 1);
+    statAdd(Stat::GatherOps, 1);
+  }
+#endif
+}
+inline void countScatter() {
+#ifdef EGACS_STATS
+  if (opCountingEnabled()) {
+    statAdd(Stat::SpmdOps, 1);
+    statAdd(Stat::ScatterOps, 1);
+  }
+#endif
+}
+} // namespace detail
+
+template <typename B> struct VMask;
+template <typename B> struct VFloat;
+
+/// A varying int32 over backend \p B.
+template <typename B> struct VInt {
+  typename B::VInt V;
+
+  VInt() = default;
+  /*implicit*/ VInt(typename B::VInt V) : V(V) {}
+  /// Splat construction from a uniform value.
+  explicit VInt(std::int32_t X) : V(B::splat(X)) {}
+
+  friend VInt operator+(VInt A, VInt C) {
+    detail::countOps(1);
+    return B::add(A.V, C.V);
+  }
+  friend VInt operator-(VInt A, VInt C) {
+    detail::countOps(1);
+    return B::sub(A.V, C.V);
+  }
+  friend VInt operator*(VInt A, VInt C) {
+    detail::countOps(1);
+    return B::mul(A.V, C.V);
+  }
+  friend VInt operator&(VInt A, VInt C) {
+    detail::countOps(1);
+    return B::and_(A.V, C.V);
+  }
+  friend VInt operator|(VInt A, VInt C) {
+    detail::countOps(1);
+    return B::or_(A.V, C.V);
+  }
+  friend VInt operator^(VInt A, VInt C) {
+    detail::countOps(1);
+    return B::xor_(A.V, C.V);
+  }
+  friend VInt operator<<(VInt A, int Sh) {
+    detail::countOps(1);
+    return B::shl(A.V, Sh);
+  }
+  friend VInt operator>>(VInt A, int Sh) {
+    detail::countOps(1);
+    return B::shr(A.V, Sh);
+  }
+
+  friend VMask<B> operator==(VInt A, VInt C) {
+    detail::countOps(1);
+    return {B::cmpEq(A.V, C.V)};
+  }
+  friend VMask<B> operator!=(VInt A, VInt C) {
+    detail::countOps(1);
+    return {B::cmpNe(A.V, C.V)};
+  }
+  friend VMask<B> operator<(VInt A, VInt C) {
+    detail::countOps(1);
+    return {B::cmpLt(A.V, C.V)};
+  }
+  friend VMask<B> operator<=(VInt A, VInt C) {
+    detail::countOps(1);
+    return {B::cmpLe(A.V, C.V)};
+  }
+  friend VMask<B> operator>(VInt A, VInt C) {
+    detail::countOps(1);
+    return {B::cmpGt(A.V, C.V)};
+  }
+  friend VMask<B> operator>=(VInt A, VInt C) {
+    detail::countOps(1);
+    return {B::cmpLe(C.V, A.V)};
+  }
+};
+
+/// A varying float over backend \p B.
+template <typename B> struct VFloat {
+  typename B::VFloat V;
+
+  VFloat() = default;
+  /*implicit*/ VFloat(typename B::VFloat V) : V(V) {}
+  explicit VFloat(float X) : V(B::splatF(X)) {}
+
+  friend VFloat operator+(VFloat A, VFloat C) {
+    detail::countOps(1);
+    return B::addF(A.V, C.V);
+  }
+  friend VFloat operator-(VFloat A, VFloat C) {
+    detail::countOps(1);
+    return B::subF(A.V, C.V);
+  }
+  friend VFloat operator*(VFloat A, VFloat C) {
+    detail::countOps(1);
+    return B::mulF(A.V, C.V);
+  }
+  friend VFloat operator/(VFloat A, VFloat C) {
+    detail::countOps(1);
+    return B::divF(A.V, C.V);
+  }
+  friend VMask<B> operator<(VFloat A, VFloat C) {
+    detail::countOps(1);
+    return {B::cmpLtF(A.V, C.V)};
+  }
+  friend VMask<B> operator>(VFloat A, VFloat C) {
+    detail::countOps(1);
+    return {B::cmpGtF(A.V, C.V)};
+  }
+};
+
+/// A per-lane execution mask over backend \p B.
+template <typename B> struct VMask {
+  typename B::Mask M;
+
+  VMask() = default;
+  /*implicit*/ VMask(typename B::Mask M) : M(M) {}
+
+  friend VMask operator&(VMask A, VMask C) {
+    detail::countOps(1);
+    return {B::maskAnd(A.M, C.M)};
+  }
+  friend VMask operator|(VMask A, VMask C) {
+    detail::countOps(1);
+    return {B::maskOr(A.M, C.M)};
+  }
+  friend VMask operator~(VMask A) {
+    detail::countOps(1);
+    return {B::maskNot(A.M)};
+  }
+  /// A & ~C, the common divergence-handling idiom.
+  friend VMask andNot(VMask A, VMask C) {
+    detail::countOps(1);
+    return {B::maskAndNot(A.M, C.M)};
+  }
+};
+
+// --- Construction helpers ----------------------------------------------------
+
+template <typename B> VInt<B> splat(std::int32_t X) { return VInt<B>(X); }
+template <typename B> VFloat<B> splatF(float X) { return VFloat<B>(X); }
+/// ISPC programIndex.
+template <typename B> VInt<B> programIndex() { return {B::iota()}; }
+template <typename B> VMask<B> maskAll() { return {B::maskAll()}; }
+template <typename B> VMask<B> maskNone() { return {B::maskNone()}; }
+template <typename B> VMask<B> maskFirstN(int N) { return {B::maskFirstN(N)}; }
+template <typename B> VMask<B> maskFromBits(std::uint64_t Bits) {
+  return {B::maskFromBits(Bits)};
+}
+
+// --- Memory -------------------------------------------------------------------
+
+template <typename B> VInt<B> load(const std::int32_t *P) {
+  detail::countOps(1);
+  return {B::load(P)};
+}
+template <typename B> VInt<B> maskedLoad(const std::int32_t *P, VMask<B> M) {
+  detail::countOps(1);
+  return {B::maskedLoad(P, M.M)};
+}
+template <typename B> void store(std::int32_t *P, VInt<B> V) {
+  detail::countOps(1);
+  B::store(P, V.V);
+}
+template <typename B> void maskedStore(std::int32_t *P, VInt<B> V, VMask<B> M) {
+  detail::countOps(1);
+  B::maskedStore(P, V.V, M.M);
+}
+template <typename B> VFloat<B> loadF(const float *P) {
+  detail::countOps(1);
+  return {B::loadF(P)};
+}
+template <typename B> void storeF(float *P, VFloat<B> V) {
+  detail::countOps(1);
+  B::storeF(P, V.V);
+}
+
+template <typename B>
+VInt<B> gather(const std::int32_t *Base, VInt<B> Idx, VMask<B> M) {
+  detail::countGather();
+  return {B::gather(Base, Idx.V, M.M)};
+}
+template <typename B>
+void scatter(std::int32_t *Base, VInt<B> Idx, VInt<B> V, VMask<B> M) {
+  detail::countScatter();
+  B::scatter(Base, Idx.V, V.V, M.M);
+}
+template <typename B>
+VFloat<B> gatherF(const float *Base, VInt<B> Idx, VMask<B> M) {
+  detail::countGather();
+  return {B::gatherF(Base, Idx.V, M.M)};
+}
+template <typename B>
+void scatterF(float *Base, VInt<B> Idx, VFloat<B> V, VMask<B> M) {
+  detail::countScatter();
+  B::scatterF(Base, Idx.V, V.V, M.M);
+}
+
+// --- Select, min/max, conversions ---------------------------------------------
+
+template <typename B> VInt<B> select(VMask<B> M, VInt<B> A, VInt<B> C) {
+  detail::countOps(1);
+  return {B::select(M.M, A.V, C.V)};
+}
+template <typename B> VFloat<B> selectF(VMask<B> M, VFloat<B> A, VFloat<B> C) {
+  detail::countOps(1);
+  return {B::selectF(M.M, A.V, C.V)};
+}
+template <typename B> VInt<B> vmin(VInt<B> A, VInt<B> C) {
+  detail::countOps(1);
+  return {B::min(A.V, C.V)};
+}
+template <typename B> VInt<B> vmax(VInt<B> A, VInt<B> C) {
+  detail::countOps(1);
+  return {B::max(A.V, C.V)};
+}
+template <typename B> VFloat<B> toFloat(VInt<B> A) {
+  detail::countOps(1);
+  return {B::toFloat(A.V)};
+}
+template <typename B> VInt<B> toInt(VFloat<B> A) {
+  detail::countOps(1);
+  return {B::toInt(A.V)};
+}
+
+// --- Mask queries ----------------------------------------------------------------
+
+template <typename B> bool any(VMask<B> M) { return B::any(M.M); }
+template <typename B> bool all(VMask<B> M) { return B::all(M.M); }
+template <typename B> int popcount(VMask<B> M) { return B::popcount(M.M); }
+/// ISPC lanemask(): a bit per active lane.
+template <typename B> std::uint64_t maskBits(VMask<B> M) {
+  return B::maskBits(M.M);
+}
+
+// --- Lane access -------------------------------------------------------------------
+
+template <typename B> std::int32_t extract(VInt<B> V, int Lane) {
+  return B::extract(V.V, Lane);
+}
+template <typename B> float extractF(VFloat<B> V, int Lane) {
+  return B::extractF(V.V, Lane);
+}
+template <typename B> VInt<B> insert(VInt<B> V, int Lane, std::int32_t X) {
+  return {B::insert(V.V, Lane, X)};
+}
+
+// --- Reductions ------------------------------------------------------------------------
+
+template <typename B> std::int32_t reduceAdd(VInt<B> V, VMask<B> M) {
+  detail::countOps(1);
+  return B::reduceAdd(V.V, M.M);
+}
+template <typename B>
+std::int32_t reduceMin(VInt<B> V, VMask<B> M, std::int32_t Identity) {
+  detail::countOps(1);
+  return B::reduceMin(V.V, M.M, Identity);
+}
+template <typename B>
+std::int32_t reduceMax(VInt<B> V, VMask<B> M, std::int32_t Identity) {
+  detail::countOps(1);
+  return B::reduceMax(V.V, M.M, Identity);
+}
+template <typename B> float reduceAddF(VFloat<B> V, VMask<B> M) {
+  detail::countOps(1);
+  return B::reduceAddF(V.V, M.M);
+}
+
+// --- Compression -----------------------------------------------------------------------
+
+/// ISPC packed_store_active(): writes active lanes consecutively, returns
+/// the count.
+template <typename B>
+int packedStoreActive(std::int32_t *Dst, VInt<B> V, VMask<B> M) {
+  detail::countOps(1);
+  return B::packedStoreActive(Dst, V.V, M.M);
+}
+
+/// Packs active lanes to the front of the vector.
+template <typename B> VInt<B> compact(VInt<B> V, VMask<B> M) {
+  detail::countOps(1);
+  return {B::compact(V.V, M.M)};
+}
+
+/// Records an inner-loop lane-occupancy sample: \p Active of Width slots.
+template <typename B> void recordLaneUtilization(VMask<B> M) {
+#ifdef EGACS_STATS
+  if (opCountingEnabled()) {
+    statAdd(Stat::InnerActiveLanes, static_cast<std::uint64_t>(popcount(M)));
+    statAdd(Stat::InnerTotalLanes, B::Width);
+  }
+#else
+  (void)M;
+#endif
+}
+
+} // namespace egacs::simd
+
+#endif // EGACS_SIMD_OPS_H

@@ -1,0 +1,106 @@
+//===- simd/Targets.h - Backend registry and dispatch -----------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps the runtime TargetKind enumeration onto concrete backend types and
+/// provides dispatchTarget(), which instantiates a generic functor for the
+/// selected backend — the runtime analogue of the paper artifact's
+/// CUSTOM_TARGET build variable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_SIMD_TARGETS_H
+#define EGACS_SIMD_TARGETS_H
+
+#include "simd/Avx2Backend.h"
+#include "simd/Avx512Backend.h"
+#include "simd/Backend.h"
+#include "simd/PumpedBackend.h"
+#include "simd/ScalarBackend.h"
+
+#include <cassert>
+
+namespace egacs::simd {
+
+#ifdef EGACS_HAVE_AVX2
+namespace detail {
+inline constexpr char Avx2x16Name[] = "avx2-i32x16";
+}
+/// The paper's avx2-i32x16: two independent 8-wide AVX2 halves.
+using Avx2PumpedBackend = PumpedBackend<Avx2Backend, detail::Avx2x16Name>;
+#endif
+
+/// The default "best" backend this build supports at full width.
+#if defined(EGACS_HAVE_AVX512)
+using NativeBackend = Avx512Backend;
+#elif defined(EGACS_HAVE_AVX2)
+using NativeBackend = Avx2Backend;
+#else
+using NativeBackend = ScalarBackend<8>;
+#endif
+
+/// The serial reference configuration (paper Section IV-A).
+using SerialBackend = ScalarBackend<1>;
+
+/// Invokes Fn.template operator()<BackendType>() for the backend selected by
+/// \p Kind. Asserts when the target is not compiled in or not supported by
+/// the executing CPU; call targetSupported() first.
+template <typename FnT> decltype(auto) dispatchTarget(TargetKind Kind, FnT &&Fn) {
+  switch (Kind) {
+  case TargetKind::Scalar1:
+    return Fn.template operator()<ScalarBackend<1>>();
+  case TargetKind::Scalar4:
+    return Fn.template operator()<ScalarBackend<4>>();
+  case TargetKind::Scalar8:
+    return Fn.template operator()<ScalarBackend<8>>();
+  case TargetKind::Scalar16:
+    return Fn.template operator()<ScalarBackend<16>>();
+  case TargetKind::Avx2x4:
+#ifdef EGACS_HAVE_AVX2
+    return Fn.template operator()<Avx2HalfBackend>();
+#else
+    break;
+#endif
+  case TargetKind::Avx2x8:
+#ifdef EGACS_HAVE_AVX2
+    return Fn.template operator()<Avx2Backend>();
+#else
+    break;
+#endif
+  case TargetKind::Avx2x16:
+#ifdef EGACS_HAVE_AVX2
+    return Fn.template operator()<Avx2PumpedBackend>();
+#else
+    break;
+#endif
+  case TargetKind::Avx512x8:
+#ifdef EGACS_HAVE_AVX512
+    return Fn.template operator()<Avx512HalfBackend>();
+#else
+    break;
+#endif
+  case TargetKind::Avx512x16:
+#ifdef EGACS_HAVE_AVX512
+    return Fn.template operator()<Avx512Backend>();
+#else
+    break;
+#endif
+  }
+  assert(false && "SIMD target not compiled into this build");
+  return Fn.template operator()<ScalarBackend<1>>();
+}
+
+/// All runtime-selectable targets, in Fig 7 presentation order.
+inline constexpr TargetKind AllTargets[] = {
+    TargetKind::Scalar1,  TargetKind::Scalar4,  TargetKind::Scalar8,
+    TargetKind::Scalar16, TargetKind::Avx2x4,   TargetKind::Avx2x8,
+    TargetKind::Avx2x16,  TargetKind::Avx512x8, TargetKind::Avx512x16,
+};
+
+} // namespace egacs::simd
+
+#endif // EGACS_SIMD_TARGETS_H

@@ -1,0 +1,116 @@
+//===- support/AlignedBuffer.h - Cache-line aligned arrays ------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size heap array aligned for AVX512 (64 bytes). Vector loads and
+/// stores in the SIMD backends assume at least this alignment for the
+/// worklist and graph arrays.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_SUPPORT_ALIGNEDBUFFER_H
+#define EGACS_SUPPORT_ALIGNEDBUFFER_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+namespace egacs {
+
+/// A 64-byte aligned, heap-allocated array of trivially copyable T.
+template <typename T> class AlignedBuffer {
+public:
+  static constexpr std::size_t Alignment = 64;
+
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t Count) { allocate(Count); }
+
+  AlignedBuffer(AlignedBuffer &&Other) noexcept
+      : Ptr(Other.Ptr), Count(Other.Count) {
+    Other.Ptr = nullptr;
+    Other.Count = 0;
+  }
+
+  AlignedBuffer &operator=(AlignedBuffer &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    release();
+    Ptr = std::exchange(Other.Ptr, nullptr);
+    Count = std::exchange(Other.Count, 0);
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer &) = delete;
+  AlignedBuffer &operator=(const AlignedBuffer &) = delete;
+
+  ~AlignedBuffer() { release(); }
+
+  /// Allocates (or reallocates) storage for \p NewCount elements. Contents
+  /// are uninitialized.
+  void allocate(std::size_t NewCount) {
+    release();
+    if (NewCount == 0)
+      return;
+    // Round the byte size up to a multiple of the alignment so the final
+    // partial vector of a SIMD loop can safely load a full vector.
+    std::size_t Bytes = NewCount * sizeof(T);
+    Bytes = (Bytes + Alignment - 1) / Alignment * Alignment;
+    Ptr = static_cast<T *>(std::aligned_alloc(Alignment, Bytes));
+    if (!Ptr)
+      throw std::bad_alloc();
+    Count = NewCount;
+  }
+
+  /// Fills every element with \p Value.
+  void fill(const T &Value) {
+    for (std::size_t I = 0; I < Count; ++I)
+      Ptr[I] = Value;
+  }
+
+  /// Zeroes the storage.
+  void zero() {
+    if (Ptr)
+      std::memset(Ptr, 0, Count * sizeof(T));
+  }
+
+  T *data() { return Ptr; }
+  const T *data() const { return Ptr; }
+  std::size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  T &operator[](std::size_t I) {
+    assert(I < Count && "index out of range");
+    return Ptr[I];
+  }
+  const T &operator[](std::size_t I) const {
+    assert(I < Count && "index out of range");
+    return Ptr[I];
+  }
+
+  T *begin() { return Ptr; }
+  T *end() { return Ptr + Count; }
+  const T *begin() const { return Ptr; }
+  const T *end() const { return Ptr + Count; }
+
+private:
+  void release() {
+    std::free(Ptr);
+    Ptr = nullptr;
+    Count = 0;
+  }
+
+  T *Ptr = nullptr;
+  std::size_t Count = 0;
+};
+
+} // namespace egacs
+
+#endif // EGACS_SUPPORT_ALIGNEDBUFFER_H

@@ -1,0 +1,38 @@
+//===- support/CpuInfo.cpp - Runtime CPU feature detection ----------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CpuInfo.h"
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+using namespace egacs;
+
+static CpuInfo detectCpuInfo() {
+  CpuInfo Info;
+  Info.HardwareThreads =
+      static_cast<int>(std::thread::hardware_concurrency());
+  if (Info.HardwareThreads <= 0)
+    Info.HardwareThreads = 1;
+
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned Eax = 0, Ebx = 0, Ecx = 0, Edx = 0;
+  if (__get_cpuid_count(7, 0, &Eax, &Ebx, &Ecx, &Edx)) {
+    Info.HasAvx2 = (Ebx & (1u << 5)) != 0;    // AVX2
+    Info.HasAvx512f = (Ebx & (1u << 16)) != 0; // AVX512F
+  }
+#endif
+  return Info;
+}
+
+const CpuInfo &egacs::cpuInfo() {
+  static const CpuInfo Info = detectCpuInfo();
+  return Info;
+}

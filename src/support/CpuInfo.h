@@ -1,0 +1,35 @@
+//===- support/CpuInfo.h - Runtime CPU feature detection --------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime detection of the AVX2/AVX512 instruction sets and of the machine
+/// topology (hardware threads). The benchmark harnesses use this to decide
+/// which SIMD backends to exercise, mirroring the paper's per-machine target
+/// selection (AVX512 on the Intel machine, AVX2 on the AMD machine).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_SUPPORT_CPUINFO_H
+#define EGACS_SUPPORT_CPUINFO_H
+
+namespace egacs {
+
+/// Feature and topology summary for the executing CPU.
+struct CpuInfo {
+  bool HasAvx2 = false;
+  bool HasAvx512f = false;
+  /// Number of hardware threads visible to this process.
+  int HardwareThreads = 1;
+};
+
+/// Queries CPUID (x86) and the OS for the current CPU's capabilities.
+/// The result is computed once and cached.
+const CpuInfo &cpuInfo();
+
+} // namespace egacs
+
+#endif // EGACS_SUPPORT_CPUINFO_H

@@ -1,0 +1,51 @@
+//===- support/PrefixSum.h - Scan primitives --------------------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exclusive/inclusive prefix sums. The nested-parallelism scheduler packs
+/// low-degree node edges with a prefix sum (paper Section III-B2), and CSR
+/// construction uses an exclusive scan over degrees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_SUPPORT_PREFIXSUM_H
+#define EGACS_SUPPORT_PREFIXSUM_H
+
+#include <cstddef>
+#include <vector>
+
+namespace egacs {
+
+/// In-place exclusive prefix sum; returns the total of all input elements.
+template <typename T> T exclusivePrefixSum(T *Data, std::size_t N) {
+  T Running = 0;
+  for (std::size_t I = 0; I < N; ++I) {
+    T Value = Data[I];
+    Data[I] = Running;
+    Running += Value;
+  }
+  return Running;
+}
+
+/// In-place exclusive prefix sum over a vector; returns the total.
+template <typename T> T exclusivePrefixSum(std::vector<T> &Data) {
+  return exclusivePrefixSum(Data.data(), Data.size());
+}
+
+/// In-place inclusive prefix sum; returns the total (last element).
+template <typename T> T inclusivePrefixSum(T *Data, std::size_t N) {
+  T Running = 0;
+  for (std::size_t I = 0; I < N; ++I) {
+    Running += Data[I];
+    Data[I] = Running;
+  }
+  return Running;
+}
+
+} // namespace egacs
+
+#endif // EGACS_SUPPORT_PREFIXSUM_H

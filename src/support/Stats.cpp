@@ -1,0 +1,75 @@
+//===- support/Stats.cpp - Global statistic counters ----------------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <cassert>
+
+using namespace egacs;
+
+namespace {
+
+constexpr unsigned NumStats = static_cast<unsigned>(Stat::NumStats);
+
+std::atomic<std::uint64_t> Counters[NumStats];
+
+} // namespace
+
+const char *egacs::statName(Stat S) {
+  switch (S) {
+  case Stat::AtomicPushes:
+    return "atomic-pushes";
+  case Stat::ItemsPushed:
+    return "items-pushed";
+  case Stat::InnerActiveLanes:
+    return "inner-active-lanes";
+  case Stat::InnerTotalLanes:
+    return "inner-total-lanes";
+  case Stat::SpmdOps:
+    return "spmd-ops";
+  case Stat::GatherOps:
+    return "gather-ops";
+  case Stat::ScatterOps:
+    return "scatter-ops";
+  case Stat::TaskLaunches:
+    return "task-launches";
+  case Stat::BarrierWaits:
+    return "barrier-waits";
+  case Stat::NumStats:
+    break;
+  }
+  assert(false && "invalid stat");
+  return "<invalid>";
+}
+
+void egacs::statAdd(Stat S, std::uint64_t Delta) {
+  Counters[static_cast<unsigned>(S)].fetch_add(Delta,
+                                               std::memory_order_relaxed);
+}
+
+std::uint64_t egacs::statGet(Stat S) {
+  return Counters[static_cast<unsigned>(S)].load(std::memory_order_relaxed);
+}
+
+void egacs::statsReset() {
+  for (auto &Counter : Counters)
+    Counter.store(0, std::memory_order_relaxed);
+}
+
+StatsSnapshot StatsSnapshot::capture() {
+  StatsSnapshot Snapshot;
+  for (unsigned I = 0; I < NumStats; ++I)
+    Snapshot.Values[I] = Counters[I].load(std::memory_order_relaxed);
+  return Snapshot;
+}
+
+StatsSnapshot StatsSnapshot::operator-(const StatsSnapshot &Earlier) const {
+  StatsSnapshot Result;
+  for (unsigned I = 0; I < NumStats; ++I)
+    Result.Values[I] = Values[I] - Earlier.Values[I];
+  return Result;
+}

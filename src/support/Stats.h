@@ -1,0 +1,84 @@
+//===- support/Stats.h - Global statistic counters --------------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named global counters used to reproduce the paper's instrumentation:
+/// atomic worklist pushes (Table V), SIMD lane-occupancy (Table IV), and
+/// dynamic SPMD operation counts (Fig 7, standing in for Intel Pin). All
+/// counters compile away when EGACS_STATS is not defined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_SUPPORT_STATS_H
+#define EGACS_SUPPORT_STATS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace egacs {
+
+/// The set of globally tracked statistic counters.
+enum class Stat : unsigned {
+  /// Hardware atomic RMW operations issued for worklist pushes.
+  AtomicPushes,
+  /// Items appended to worklists (independent of aggregation).
+  ItemsPushed,
+  /// Active lane-slots observed while executing inner (edge) loops.
+  InnerActiveLanes,
+  /// Total lane-slots (active + idle) in inner-loop vector iterations.
+  InnerTotalLanes,
+  /// Dynamic SPMD vector operations executed (arith + memory + mask).
+  SpmdOps,
+  /// Dynamic gather operations executed.
+  GatherOps,
+  /// Dynamic scatter operations executed.
+  ScatterOps,
+  /// Task launches performed by the runtime.
+  TaskLaunches,
+  /// Barrier episodes executed inside outlined iterations.
+  BarrierWaits,
+  NumStats
+};
+
+/// Returns the human-readable name of \p S.
+const char *statName(Stat S);
+
+/// Adds \p Delta to counter \p S (relaxed; counters are diagnostics only).
+void statAdd(Stat S, std::uint64_t Delta);
+
+/// Returns the current value of counter \p S.
+std::uint64_t statGet(Stat S);
+
+/// Resets every counter to zero.
+void statsReset();
+
+/// A point-in-time snapshot of every counter, used to measure one kernel run.
+struct StatsSnapshot {
+  std::uint64_t Values[static_cast<unsigned>(Stat::NumStats)] = {};
+
+  /// Captures current counter values.
+  static StatsSnapshot capture();
+
+  /// Returns the per-counter difference (this - Earlier).
+  StatsSnapshot operator-(const StatsSnapshot &Earlier) const;
+
+  std::uint64_t get(Stat S) const {
+    return Values[static_cast<unsigned>(S)];
+  }
+};
+
+#ifdef EGACS_STATS
+#define EGACS_STAT_ADD(S, N) ::egacs::statAdd(::egacs::Stat::S, (N))
+#else
+#define EGACS_STAT_ADD(S, N) ((void)0)
+#endif
+
+} // namespace egacs
+
+#endif // EGACS_SUPPORT_STATS_H

@@ -1,0 +1,76 @@
+//===- support/Table.cpp - Plain-text table rendering ---------------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+
+using namespace egacs;
+
+Table::Table(std::vector<std::string> Headers) : Headers(std::move(Headers)) {}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Headers.size() && "row arity mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> Widths(Headers.size(), 0);
+  for (std::size_t C = 0; C < Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (std::size_t C = 0; C < Row.size(); ++C)
+      if (Row[C].size() > Widths[C])
+        Widths[C] = Row[C].size();
+
+  auto AppendRow = [&](std::string &Out, const std::vector<std::string> &Row) {
+    for (std::size_t C = 0; C < Row.size(); ++C) {
+      Out += Row[C];
+      if (C + 1 < Row.size())
+        Out.append(Widths[C] - Row[C].size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+
+  std::string Out;
+  AppendRow(Out, Headers);
+  std::size_t Total = 0;
+  for (std::size_t C = 0; C < Widths.size(); ++C)
+    Total += Widths[C] + (C + 1 < Widths.size() ? 2 : 0);
+  Out.append(Total, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    AppendRow(Out, Row);
+  return Out;
+}
+
+void Table::print() const {
+  std::string Rendered = render();
+  std::fwrite(Rendered.data(), 1, Rendered.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string Table::fmt(double Value, int Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, Value);
+  return Buffer;
+}
+
+std::string Table::fmt(std::uint64_t Value) {
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "%llu",
+                static_cast<unsigned long long>(Value));
+  return Buffer;
+}
+
+std::string Table::fmtSpeedup(double Value) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.2fx", Value);
+  return Buffer;
+}

@@ -1,0 +1,54 @@
+//===- support/Table.h - Plain-text table rendering -------------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small column-aligned table printer. Every benchmark harness renders its
+/// paper table/figure through this so the output shape matches the paper's
+/// rows and series.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_SUPPORT_TABLE_H
+#define EGACS_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace egacs {
+
+/// Accumulates rows of string cells and prints them column-aligned.
+class Table {
+public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> Headers);
+
+  /// Appends one data row; must have the same arity as the headers.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table (header, separator, rows) to a string.
+  std::string render() const;
+
+  /// Renders the table to stdout.
+  void print() const;
+
+  /// Formats a double with \p Precision decimals.
+  static std::string fmt(double Value, int Precision = 2);
+
+  /// Formats an integer count.
+  static std::string fmt(std::uint64_t Value);
+
+  /// Formats a speedup as e.g. "3.25x".
+  static std::string fmtSpeedup(double Value);
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace egacs
+
+#endif // EGACS_SUPPORT_TABLE_H

@@ -1,0 +1,93 @@
+//===- support/Timer.h - Wall-clock timing helpers --------------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock timers used by the benchmark harnesses. The paper
+/// reports kernel execution time excluding graph loading and output writing;
+/// benches wrap exactly the algorithm invocation in a Timer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_SUPPORT_TIMER_H
+#define EGACS_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace egacs {
+
+/// A simple start/stop wall-clock timer with nanosecond resolution.
+class Timer {
+public:
+  /// Starts (or restarts) the timer.
+  void start() { Begin = Clock::now(); }
+
+  /// Stops the timer and accumulates the elapsed interval.
+  void stop() {
+    AccumulatedNs +=
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             Begin)
+            .count();
+  }
+
+  /// Clears any accumulated time.
+  void reset() { AccumulatedNs = 0; }
+
+  /// Returns the accumulated time in nanoseconds.
+  std::uint64_t nanoseconds() const { return AccumulatedNs; }
+
+  /// Returns the accumulated time in milliseconds as a double.
+  double milliseconds() const {
+    return static_cast<double>(AccumulatedNs) / 1e6;
+  }
+
+  /// Returns the accumulated time in seconds as a double.
+  double seconds() const { return static_cast<double>(AccumulatedNs) / 1e9; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Begin;
+  std::uint64_t AccumulatedNs = 0;
+};
+
+/// RAII helper that times a scope and adds the result to a sink.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(double &SinkMs) : SinkMs(SinkMs) { T.start(); }
+  ~ScopedTimer() {
+    T.stop();
+    SinkMs += T.milliseconds();
+  }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  double &SinkMs;
+  Timer T;
+};
+
+/// Runs \p Fn once and returns the elapsed milliseconds.
+template <typename FnT> double timeMs(FnT &&Fn) {
+  Timer T;
+  T.start();
+  Fn();
+  T.stop();
+  return T.milliseconds();
+}
+
+/// Runs \p Fn \p Reps times and returns the average elapsed milliseconds.
+template <typename FnT> double timeAvgMs(int Reps, FnT &&Fn) {
+  double Total = 0.0;
+  for (int I = 0; I < Reps; ++I)
+    Total += timeMs(Fn);
+  return Reps > 0 ? Total / Reps : 0.0;
+}
+
+} // namespace egacs
+
+#endif // EGACS_SUPPORT_TIMER_H

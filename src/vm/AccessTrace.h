@@ -1,0 +1,39 @@
+//===- vm/AccessTrace.h - Kernel-shaped memory traces -----------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streams the memory-access pattern of each Table IX benchmark into a
+/// PagingSim: the algorithms are executed for real (serial) against the
+/// input graph, and every array element they touch is reported at its
+/// simulated address. What distinguishes BFS/SSSP/PR (fault-per-access
+/// random gathers, catastrophic under UVM) from CC/TRI/MIS/MST
+/// (sweep-dominated, amortizing each fault over a whole page) is therefore
+/// the genuine reuse structure of the algorithms, not a hand-tuned
+/// constant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_VM_ACCESSTRACE_H
+#define EGACS_VM_ACCESSTRACE_H
+
+#include "graph/Csr.h"
+#include "vm/PagingSim.h"
+
+namespace egacs::vm {
+
+/// Lays out the arrays used by \p App ("bfs-wl", "cc", "tri", "sssp",
+/// "mis", "pr", "mst") for graph \p G and returns the footprint in bytes.
+std::uint64_t appFootprintBytes(const std::string &App, const Csr &G);
+
+/// Runs the named benchmark against \p G, streaming its accesses into
+/// \p Sim. \p Source seeds bfs/sssp.
+void traceApp(const std::string &App, const Csr &G, NodeId Source,
+              PagingSim &Sim);
+
+} // namespace egacs::vm
+
+#endif // EGACS_VM_ACCESSTRACE_H

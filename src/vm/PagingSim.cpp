@@ -1,0 +1,110 @@
+//===- vm/PagingSim.cpp - Demand-paging simulation ------------------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/PagingSim.h"
+
+#include <cassert>
+
+using namespace egacs::vm;
+
+PagingConfig PagingConfig::cpu(std::uint64_t ResidentBytes) {
+  PagingConfig Config;
+  Config.PageBytes = 4096;
+  Config.ResidentBytes = ResidentBytes;
+  Config.HitNs = 60.0;
+  // Linux swap on NVMe: fault entry + read + map, several microseconds.
+  Config.FaultNs = 8000.0;
+  Config.EvictNs = 2000.0;
+  return Config;
+}
+
+PagingConfig PagingConfig::gpuUvm(std::uint64_t ResidentBytes) {
+  PagingConfig Config;
+  // UVM migrates 64 KiB granules over PCIe with far-fault handling on the
+  // GPU; per-fault service is tens of microseconds.
+  Config.PageBytes = 64 * 1024;
+  Config.ResidentBytes = ResidentBytes;
+  Config.HitNs = 40.0;
+  Config.FaultNs = 45000.0;
+  Config.EvictNs = 20000.0;
+  return Config;
+}
+
+PagingSim::PagingSim(PagingConfig Config) : Config(Config) {
+  assert(Config.PageBytes > 0 && "page size must be positive");
+  MaxResidentPages = Config.ResidentBytes / Config.PageBytes;
+  if (MaxResidentPages == 0)
+    MaxResidentPages = 1;
+}
+
+void PagingSim::access(std::uint64_t Addr, bool Write) {
+  ++Accesses;
+  std::uint64_t Page = Addr / Config.PageBytes;
+  auto It = Resident.find(Page);
+  if (It != Resident.end()) {
+    // Hit: move to MRU position.
+    Lru.splice(Lru.begin(), Lru, It->second.LruPos);
+    It->second.Dirty |= Write;
+    return;
+  }
+  ++Faults;
+  if (Resident.size() >= MaxResidentPages) {
+    // Evict the LRU page.
+    std::uint64_t Victim = Lru.back();
+    Lru.pop_back();
+    auto VictimIt = Resident.find(Victim);
+    assert(VictimIt != Resident.end() && "LRU/table mismatch");
+    ++Evictions;
+    if (VictimIt->second.Dirty)
+      ++Writebacks;
+    Resident.erase(VictimIt);
+  }
+  Lru.push_front(Page);
+  Resident.emplace(Page, PageInfo{Lru.begin(), Write});
+}
+
+void PagingSim::accessRange(std::uint64_t Addr, std::uint64_t Bytes,
+                            bool Write) {
+  if (Bytes == 0)
+    return;
+  std::uint64_t First = Addr / Config.PageBytes;
+  std::uint64_t Last = (Addr + Bytes - 1) / Config.PageBytes;
+  for (std::uint64_t Page = First; Page <= Last; ++Page)
+    access(Page * Config.PageBytes, Write);
+}
+
+double PagingSim::estimatedMs() const {
+  double Ns = static_cast<double>(Accesses) * Config.HitNs +
+              static_cast<double>(Faults) * Config.FaultNs +
+              static_cast<double>(Writebacks) * Config.EvictNs;
+  return Ns / 1e6;
+}
+
+double PagingSim::allResidentMs() const {
+  return static_cast<double>(Accesses) * Config.HitNs / 1e6;
+}
+
+double PagingSim::slowdown() const {
+  double Baseline = allResidentMs();
+  return Baseline > 0.0 ? estimatedMs() / Baseline : 1.0;
+}
+
+std::uint64_t AddressSpace::addArray(const std::string &Name,
+                                     std::uint64_t Bytes) {
+  std::uint64_t Base = Cursor;
+  assert(!Arrays.count(Name) && "array already laid out");
+  Arrays[Name] = Base;
+  // 64-byte alignment, like the real AlignedBuffer allocator.
+  Cursor += (Bytes + 63) / 64 * 64;
+  return Base;
+}
+
+std::uint64_t AddressSpace::base(const std::string &Name) const {
+  auto It = Arrays.find(Name);
+  assert(It != Arrays.end() && "unknown array");
+  return It->second;
+}

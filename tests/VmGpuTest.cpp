@@ -1,0 +1,169 @@
+//===- tests/VmGpuTest.cpp - Paging simulator and GPU model tests ---------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/GpuModel.h"
+#include "graph/Generators.h"
+#include "vm/AccessTrace.h"
+#include "support/Rng.h"
+#include "vm/PagingSim.h"
+
+#include <gtest/gtest.h>
+
+using namespace egacs;
+using namespace egacs::vm;
+using namespace egacs::gpusim;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// PagingSim mechanics.
+//===----------------------------------------------------------------------===//
+
+TEST(PagingSim, NoFaultsWhenEverythingFits) {
+  PagingConfig Config = PagingConfig::cpu(/*ResidentBytes=*/1 << 20);
+  PagingSim Sim(Config);
+  for (int Round = 0; Round < 3; ++Round)
+    for (std::uint64_t Addr = 0; Addr < (1 << 18); Addr += 64)
+      Sim.access(Addr);
+  EXPECT_EQ(Sim.faults(), (1u << 18) / 4096); // cold faults only
+  EXPECT_EQ(Sim.evictions(), 0u);
+  // Only cold faults contribute; repeated sweeps amortize them.
+  EXPECT_LT(Sim.slowdown(), 2.0);
+}
+
+TEST(PagingSim, SequentialSweepThrashesGently) {
+  // Working set 2x the resident set, swept sequentially: every page faults
+  // once per sweep, but 64 accesses share each fault (4096/64).
+  PagingConfig Config = PagingConfig::cpu(/*ResidentBytes=*/64 * 4096);
+  PagingSim Sim(Config);
+  for (int Sweep = 0; Sweep < 4; ++Sweep)
+    for (std::uint64_t Addr = 0; Addr < 128 * 4096; Addr += 64)
+      Sim.access(Addr);
+  EXPECT_EQ(Sim.faults(), 4u * 128u);
+  EXPECT_GT(Sim.slowdown(), 1.5);
+  EXPECT_LT(Sim.slowdown(), 10.0);
+}
+
+TEST(PagingSim, RandomAccessThrashesCatastrophicallyUnderUvm) {
+  // Random single-word touches over 2x the resident set: almost every
+  // access faults, and UVM fault costs are ~1000x a hit.
+  PagingConfig Uvm = PagingConfig::gpuUvm(/*ResidentBytes=*/32 * 64 * 1024);
+  PagingSim Sim(Uvm);
+  Xoshiro256 Rng(7);
+  std::uint64_t Span = 64ull * 64 * 1024;
+  for (int I = 0; I < 200000; ++I)
+    Sim.access(Rng.nextBounded(Span), /*Write=*/true);
+  EXPECT_GT(Sim.slowdown(), 100.0);
+}
+
+TEST(PagingSim, DirtyEvictionsCostWritebacks) {
+  PagingConfig Config = PagingConfig::cpu(/*ResidentBytes=*/4096);
+  PagingSim Sim(Config); // one resident page
+  Sim.access(0, /*Write=*/true);
+  Sim.access(8192, /*Write=*/false); // evicts dirty page 0
+  Sim.access(0, /*Write=*/false);    // evicts clean page 2
+  EXPECT_EQ(Sim.faults(), 3u);
+  EXPECT_EQ(Sim.evictions(), 2u);
+  EXPECT_EQ(Sim.writebacks(), 1u);
+}
+
+TEST(AddressSpaceLayout, ArraysDoNotOverlap) {
+  AddressSpace Space;
+  std::uint64_t A = Space.addArray("a", 100);
+  std::uint64_t B = Space.addArray("b", 200);
+  EXPECT_EQ(A, 0u);
+  EXPECT_GE(B, 100u);
+  EXPECT_EQ(B % 64, 0u);
+  EXPECT_EQ(Space.base("a"), A);
+  EXPECT_GE(Space.footprintBytes(), 300u);
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel-shaped traces: the Table IX contrast must emerge.
+//===----------------------------------------------------------------------===//
+
+TEST(AccessTraces, AllAppsProduceAccesses) {
+  Csr G = roadGraph(64, 64, 0.05, 3);
+  for (const char *App : {"bfs-wl", "cc", "tri", "sssp", "mis", "pr", "mst"}) {
+    std::uint64_t Footprint = appFootprintBytes(App, G);
+    ASSERT_GT(Footprint, 0u) << App;
+    PagingSim Sim(PagingConfig::cpu(Footprint));
+    traceApp(App, G, 0, Sim);
+    EXPECT_GT(Sim.accesses(), static_cast<std::uint64_t>(G.numEdges()))
+        << App;
+    // Everything resident: only cold faults.
+    EXPECT_LT(Sim.slowdown(), 4.0) << App;
+  }
+}
+
+TEST(AccessTraces, RandomGatherAppsThrashWorseUnderUvm) {
+  // The Table IX contrast: BFS (random dist[] gathers) must degrade far
+  // more than TRI (sequential adjacency sweeps) at 50% footprint under
+  // UVM paging.
+  Csr G = uniformRandomGraph(20000, 8, 11);
+  auto SlowdownOf = [&](const char *App) {
+    std::uint64_t Footprint = appFootprintBytes(App, G);
+    PagingSim Sim(PagingConfig::gpuUvm(Footprint / 2));
+    traceApp(App, G, 0, Sim);
+    return Sim.slowdown();
+  };
+  double Bfs = SlowdownOf("bfs-wl");
+  double Tri = SlowdownOf("tri");
+  // bfs gathers dist[] at page-per-access rates; tri's merges stay inside
+  // adjacency lists much longer.
+  EXPECT_GT(Bfs, 15.0);
+  EXPECT_GT(Bfs, 1.5 * Tri) << "bfs=" << Bfs << " tri=" << Tri;
+}
+
+//===----------------------------------------------------------------------===//
+// GPU model.
+//===----------------------------------------------------------------------===//
+
+StatsSnapshot makeDelta(std::uint64_t Ops, std::uint64_t Gathers,
+                        std::uint64_t Atomics, std::uint64_t Launches) {
+  StatsSnapshot S;
+  S.Values[static_cast<unsigned>(Stat::SpmdOps)] = Ops;
+  S.Values[static_cast<unsigned>(Stat::GatherOps)] = Gathers;
+  S.Values[static_cast<unsigned>(Stat::AtomicPushes)] = Atomics;
+  S.Values[static_cast<unsigned>(Stat::TaskLaunches)] = Launches;
+  return S;
+}
+
+TEST(GpuModel, MoreWorkCostsMoreTime) {
+  KernelProfile Small{makeDelta(1000, 100, 10, 1), 16, 1, 1 << 20};
+  KernelProfile Big{makeDelta(100000, 10000, 1000, 1), 16, 1, 1 << 20};
+  EXPECT_LT(estimateGpuTime(Small).kernelMs(),
+            estimateGpuTime(Big).kernelMs());
+}
+
+TEST(GpuModel, TransfersScaleWithFootprint) {
+  KernelProfile P{makeDelta(1000, 0, 0, 1), 16, 1, 100 << 20};
+  KernelProfile Q = P;
+  Q.FootprintBytes = 200 << 20;
+  EXPECT_NEAR(estimateGpuTime(Q).TransferMs,
+              2.0 * estimateGpuTime(P).TransferMs, 1e-9);
+  EXPECT_GT(estimateGpuTime(P).totalMs(), estimateGpuTime(P).kernelMs());
+}
+
+TEST(GpuModel, LaunchOverheadCountsBarrierRounds) {
+  KernelProfile NoBarriers{makeDelta(0, 0, 0, 100), 16, 4, 0};
+  KernelProfile WithBarriers = NoBarriers;
+  WithBarriers.Delta.Values[static_cast<unsigned>(Stat::BarrierWaits)] = 400;
+  // 400 barrier episodes at 4 tasks = 100 extra per-iteration launches.
+  EXPECT_NEAR(estimateGpuTime(WithBarriers).LaunchMs,
+              2.0 * estimateGpuTime(NoBarriers).LaunchMs, 1e-9);
+}
+
+TEST(GpuModel, AtomicHeavyKernelsPayForSerialization) {
+  KernelProfile Light{makeDelta(10000, 100, 10, 1), 16, 1, 1 << 20};
+  KernelProfile Heavy = Light;
+  Heavy.Delta.Values[static_cast<unsigned>(Stat::AtomicPushes)] = 10000000;
+  EXPECT_GT(estimateGpuTime(Heavy).AtomicMs,
+            10.0 * estimateGpuTime(Light).AtomicMs);
+}
+
+} // namespace
