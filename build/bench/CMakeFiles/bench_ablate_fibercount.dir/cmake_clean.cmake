@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_fibercount.dir/bench_ablate_fibercount.cpp.o"
+  "CMakeFiles/bench_ablate_fibercount.dir/bench_ablate_fibercount.cpp.o.d"
+  "bench_ablate_fibercount"
+  "bench_ablate_fibercount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_fibercount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

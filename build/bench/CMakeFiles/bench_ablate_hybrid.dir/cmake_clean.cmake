@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_hybrid.dir/bench_ablate_hybrid.cpp.o"
+  "CMakeFiles/bench_ablate_hybrid.dir/bench_ablate_hybrid.cpp.o.d"
+  "bench_ablate_hybrid"
+  "bench_ablate_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

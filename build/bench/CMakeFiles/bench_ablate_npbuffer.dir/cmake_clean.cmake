@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_npbuffer.dir/bench_ablate_npbuffer.cpp.o"
+  "CMakeFiles/bench_ablate_npbuffer.dir/bench_ablate_npbuffer.cpp.o.d"
+  "bench_ablate_npbuffer"
+  "bench_ablate_npbuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_npbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

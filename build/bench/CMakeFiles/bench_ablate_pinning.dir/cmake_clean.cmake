@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_pinning.dir/bench_ablate_pinning.cpp.o"
+  "CMakeFiles/bench_ablate_pinning.dir/bench_ablate_pinning.cpp.o.d"
+  "bench_ablate_pinning"
+  "bench_ablate_pinning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_pinning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

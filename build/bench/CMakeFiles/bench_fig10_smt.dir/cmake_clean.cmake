@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_smt.dir/bench_fig10_smt.cpp.o"
+  "CMakeFiles/bench_fig10_smt.dir/bench_fig10_smt.cpp.o.d"
+  "bench_fig10_smt"
+  "bench_fig10_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

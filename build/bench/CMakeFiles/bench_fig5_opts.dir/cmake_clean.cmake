@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_opts.dir/bench_fig5_opts.cpp.o"
+  "CMakeFiles/bench_fig5_opts.dir/bench_fig5_opts.cpp.o.d"
+  "bench_fig5_opts"
+  "bench_fig5_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

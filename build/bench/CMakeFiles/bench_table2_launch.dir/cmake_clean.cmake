@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_launch.dir/bench_table2_launch.cpp.o"
+  "CMakeFiles/bench_table2_launch.dir/bench_table2_launch.cpp.o.d"
+  "bench_table2_launch"
+  "bench_table2_launch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_launch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_outlining.dir/bench_table3_outlining.cpp.o"
+  "CMakeFiles/bench_table3_outlining.dir/bench_table3_outlining.cpp.o.d"
+  "bench_table3_outlining"
+  "bench_table3_outlining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_outlining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_atomics.dir/bench_table5_atomics.cpp.o"
+  "CMakeFiles/bench_table5_atomics.dir/bench_table5_atomics.cpp.o.d"
+  "bench_table5_atomics"
+  "bench_table5_atomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_atomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_gather.dir/bench_table6_gather.cpp.o"
+  "CMakeFiles/bench_table6_gather.dir/bench_table6_gather.cpp.o.d"
+  "bench_table6_gather"
+  "bench_table6_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

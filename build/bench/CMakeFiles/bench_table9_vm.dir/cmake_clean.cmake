@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_vm.dir/bench_table9_vm.cpp.o"
+  "CMakeFiles/bench_table9_vm.dir/bench_table9_vm.cpp.o.d"
+  "bench_table9_vm"
+  "bench_table9_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irgl_codegen.dir/irgl_codegen.cpp.o"
+  "CMakeFiles/irgl_codegen.dir/irgl_codegen.cpp.o.d"
+  "irgl_codegen"
+  "irgl_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irgl_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

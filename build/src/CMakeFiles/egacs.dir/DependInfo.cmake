@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/graphit/GraphIt.cpp" "src/CMakeFiles/egacs.dir/baselines/graphit/GraphIt.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/baselines/graphit/GraphIt.cpp.o.d"
+  "/root/repo/src/baselines/ligra/Apps.cpp" "src/CMakeFiles/egacs.dir/baselines/ligra/Apps.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/baselines/ligra/Apps.cpp.o.d"
+  "/root/repo/src/baselines/ligra/Ligra.cpp" "src/CMakeFiles/egacs.dir/baselines/ligra/Ligra.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/baselines/ligra/Ligra.cpp.o.d"
+  "/root/repo/src/baselines/scalar/ScalarKernels.cpp" "src/CMakeFiles/egacs.dir/baselines/scalar/ScalarKernels.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/baselines/scalar/ScalarKernels.cpp.o.d"
+  "/root/repo/src/gpusim/GpuModel.cpp" "src/CMakeFiles/egacs.dir/gpusim/GpuModel.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/gpusim/GpuModel.cpp.o.d"
+  "/root/repo/src/graph/Csr.cpp" "src/CMakeFiles/egacs.dir/graph/Csr.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/graph/Csr.cpp.o.d"
+  "/root/repo/src/graph/Generators.cpp" "src/CMakeFiles/egacs.dir/graph/Generators.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/graph/Generators.cpp.o.d"
+  "/root/repo/src/graph/Loader.cpp" "src/CMakeFiles/egacs.dir/graph/Loader.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/graph/Loader.cpp.o.d"
+  "/root/repo/src/irgl/Ast.cpp" "src/CMakeFiles/egacs.dir/irgl/Ast.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/irgl/Ast.cpp.o.d"
+  "/root/repo/src/irgl/CodeGen.cpp" "src/CMakeFiles/egacs.dir/irgl/CodeGen.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/irgl/CodeGen.cpp.o.d"
+  "/root/repo/src/irgl/Passes.cpp" "src/CMakeFiles/egacs.dir/irgl/Passes.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/irgl/Passes.cpp.o.d"
+  "/root/repo/src/irgl/Samples.cpp" "src/CMakeFiles/egacs.dir/irgl/Samples.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/irgl/Samples.cpp.o.d"
+  "/root/repo/src/kernels/Kernels.cpp" "src/CMakeFiles/egacs.dir/kernels/Kernels.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/kernels/Kernels.cpp.o.d"
+  "/root/repo/src/kernels/Reference.cpp" "src/CMakeFiles/egacs.dir/kernels/Reference.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/kernels/Reference.cpp.o.d"
+  "/root/repo/src/runtime/TaskSystem.cpp" "src/CMakeFiles/egacs.dir/runtime/TaskSystem.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/runtime/TaskSystem.cpp.o.d"
+  "/root/repo/src/simd/Backend.cpp" "src/CMakeFiles/egacs.dir/simd/Backend.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/simd/Backend.cpp.o.d"
+  "/root/repo/src/simd/Ops.cpp" "src/CMakeFiles/egacs.dir/simd/Ops.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/simd/Ops.cpp.o.d"
+  "/root/repo/src/support/CpuInfo.cpp" "src/CMakeFiles/egacs.dir/support/CpuInfo.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/support/CpuInfo.cpp.o.d"
+  "/root/repo/src/support/Options.cpp" "src/CMakeFiles/egacs.dir/support/Options.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/support/Options.cpp.o.d"
+  "/root/repo/src/support/Stats.cpp" "src/CMakeFiles/egacs.dir/support/Stats.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/support/Stats.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "src/CMakeFiles/egacs.dir/support/Table.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/support/Table.cpp.o.d"
+  "/root/repo/src/vm/AccessTrace.cpp" "src/CMakeFiles/egacs.dir/vm/AccessTrace.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/vm/AccessTrace.cpp.o.d"
+  "/root/repo/src/vm/PagingSim.cpp" "src/CMakeFiles/egacs.dir/vm/PagingSim.cpp.o" "gcc" "src/CMakeFiles/egacs.dir/vm/PagingSim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

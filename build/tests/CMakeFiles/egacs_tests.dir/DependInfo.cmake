@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/BaselinesTest.cpp" "tests/CMakeFiles/egacs_tests.dir/BaselinesTest.cpp.o" "gcc" "tests/CMakeFiles/egacs_tests.dir/BaselinesTest.cpp.o.d"
+  "/root/repo/tests/GraphTest.cpp" "tests/CMakeFiles/egacs_tests.dir/GraphTest.cpp.o" "gcc" "tests/CMakeFiles/egacs_tests.dir/GraphTest.cpp.o.d"
+  "/root/repo/tests/IrglTest.cpp" "tests/CMakeFiles/egacs_tests.dir/IrglTest.cpp.o" "gcc" "tests/CMakeFiles/egacs_tests.dir/IrglTest.cpp.o.d"
+  "/root/repo/tests/KernelsTest.cpp" "tests/CMakeFiles/egacs_tests.dir/KernelsTest.cpp.o" "gcc" "tests/CMakeFiles/egacs_tests.dir/KernelsTest.cpp.o.d"
+  "/root/repo/tests/OpsWrapperTest.cpp" "tests/CMakeFiles/egacs_tests.dir/OpsWrapperTest.cpp.o" "gcc" "tests/CMakeFiles/egacs_tests.dir/OpsWrapperTest.cpp.o.d"
+  "/root/repo/tests/RuntimeTest.cpp" "tests/CMakeFiles/egacs_tests.dir/RuntimeTest.cpp.o" "gcc" "tests/CMakeFiles/egacs_tests.dir/RuntimeTest.cpp.o.d"
+  "/root/repo/tests/SimdBackendTest.cpp" "tests/CMakeFiles/egacs_tests.dir/SimdBackendTest.cpp.o" "gcc" "tests/CMakeFiles/egacs_tests.dir/SimdBackendTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/egacs_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/egacs_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/VmGpuTest.cpp" "tests/CMakeFiles/egacs_tests.dir/VmGpuTest.cpp.o" "gcc" "tests/CMakeFiles/egacs_tests.dir/VmGpuTest.cpp.o.d"
+  "/root/repo/tests/WorklistSchedTest.cpp" "tests/CMakeFiles/egacs_tests.dir/WorklistSchedTest.cpp.o" "gcc" "tests/CMakeFiles/egacs_tests.dir/WorklistSchedTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/egacs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

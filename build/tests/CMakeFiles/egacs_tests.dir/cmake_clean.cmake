@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egacs_tests.dir/BaselinesTest.cpp.o"
+  "CMakeFiles/egacs_tests.dir/BaselinesTest.cpp.o.d"
+  "CMakeFiles/egacs_tests.dir/GraphTest.cpp.o"
+  "CMakeFiles/egacs_tests.dir/GraphTest.cpp.o.d"
+  "CMakeFiles/egacs_tests.dir/IrglTest.cpp.o"
+  "CMakeFiles/egacs_tests.dir/IrglTest.cpp.o.d"
+  "CMakeFiles/egacs_tests.dir/KernelsTest.cpp.o"
+  "CMakeFiles/egacs_tests.dir/KernelsTest.cpp.o.d"
+  "CMakeFiles/egacs_tests.dir/OpsWrapperTest.cpp.o"
+  "CMakeFiles/egacs_tests.dir/OpsWrapperTest.cpp.o.d"
+  "CMakeFiles/egacs_tests.dir/RuntimeTest.cpp.o"
+  "CMakeFiles/egacs_tests.dir/RuntimeTest.cpp.o.d"
+  "CMakeFiles/egacs_tests.dir/SimdBackendTest.cpp.o"
+  "CMakeFiles/egacs_tests.dir/SimdBackendTest.cpp.o.d"
+  "CMakeFiles/egacs_tests.dir/SupportTest.cpp.o"
+  "CMakeFiles/egacs_tests.dir/SupportTest.cpp.o.d"
+  "CMakeFiles/egacs_tests.dir/VmGpuTest.cpp.o"
+  "CMakeFiles/egacs_tests.dir/VmGpuTest.cpp.o.d"
+  "CMakeFiles/egacs_tests.dir/WorklistSchedTest.cpp.o"
+  "CMakeFiles/egacs_tests.dir/WorklistSchedTest.cpp.o.d"
+  "egacs_tests"
+  "egacs_tests.pdb"
+  "egacs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egacs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
