@@ -16,6 +16,9 @@
 ///   --reps=N    timing repetitions (default 3; paper uses 20)
 ///   --tasks=N   ISPC-style task count (default: hardware threads)
 ///   --tasksys=S serial|spawn|pool|spin (default pool)
+///   --sched=S   static|chunked|stealing work distribution (default static)
+///   --chunk=N   chunk size for chunked/stealing (default 1024)
+///   --guided=1  guided self-scheduling decay for chunked
 ///   --verify=0  skip output verification for faster sweeps
 ///
 /// or the equivalent EGACS_* environment variables.
@@ -57,6 +60,9 @@ struct BenchEnv {
   int Reps;
   int NumTasks;
   TaskSystemKind TsKind;
+  SchedPolicy Sched;
+  std::int64_t ChunkSize;
+  bool Guided;
   bool Verify;
 
   BenchEnv(int Argc, char **Argv)
@@ -66,14 +72,26 @@ struct BenchEnv {
         NumTasks(static_cast<int>(
             Opts.getInt("tasks", cpuInfo().HardwareThreads))),
         TsKind(parseTaskSystemKind(Opts.getString("tasksys", "pool"))),
+        Sched(parseSchedPolicy(Opts.getString("sched", "static"))),
+        ChunkSize(Opts.getInt("chunk", 1024)),
+        Guided(Opts.getBool("guided", false)),
         Verify(Opts.getBool("verify", true)) {
     if (NumTasks < 1)
       NumTasks = 1;
+    if (ChunkSize < 1)
+      ChunkSize = 1;
   }
 
   /// Builds the configured task system.
   std::unique_ptr<TaskSystem> makeTs(int Workers = -1) const {
     return makeTaskSystem(TsKind, Workers < 0 ? NumTasks : Workers);
+  }
+
+  /// Applies the work-distribution knobs to a kernel config.
+  void applySched(KernelConfig &Cfg) const {
+    Cfg.Sched = Sched;
+    Cfg.ChunkSize = ChunkSize;
+    Cfg.GuidedChunks = Guided;
   }
 };
 

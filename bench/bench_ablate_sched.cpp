@@ -1,0 +1,142 @@
+//===- bench/bench_ablate_sched.cpp - Scheduling policy ablation ----------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+// Ablates the work-distribution policy (static blocks vs shared-cursor
+// chunks vs work stealing) x chunk size over the paper's three graph
+// classes. The paper's Nested Parallelism balances lanes *within* a vector;
+// this harness measures the inter-task analogue: on power-law (rmat)
+// inputs the static block holding the hubs is the straggler of every
+// barrier episode.
+//
+// Columns:
+//   wall ms      - end-to-end time on this machine (oversubscribed CI boxes
+//                  serialize tasks, so wall clock mostly shows overhead);
+//   crit-path ms - sum over barrier episodes of the slowest task's CPU time:
+//                  the runtime a machine with >= tasks cores would see;
+//   balance %    - mean task busy time / critical path (100% = no straggler);
+//   chunks/stolen/steal-fail - scheduler instrumentation counters.
+//
+//   $ bench_ablate_sched --scale=10 --tasks=8 [--reps=3] [--verify=0]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace egacs;
+using namespace egacs::bench;
+using namespace egacs::simd;
+
+namespace {
+
+struct PolicyCase {
+  SchedPolicy Policy;
+  std::int64_t Chunk;
+  bool Guided;
+  std::string name() const {
+    std::string N = schedPolicyName(Policy);
+    if (Policy != SchedPolicy::Static) {
+      N += "/" + std::to_string(Chunk);
+      if (Guided)
+        N += "g";
+    }
+    return N;
+  }
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchEnv Env(Argc, Argv);
+  // Imbalance needs several tasks to show; default to 8 even on small CI
+  // boxes (crit-path ms models the multi-core runtime either way).
+  if (Env.Opts.getInt("tasks", -1) < 0 && Env.NumTasks < 8)
+    Env.NumTasks = 8;
+  banner("sched ablation - static vs chunked vs stealing", Env);
+  TargetKind Target = bestTarget();
+  auto TS = Env.makeTs();
+
+  const KernelKind Kernels[] = {KernelKind::Pr, KernelKind::Tri,
+                                KernelKind::Cc, KernelKind::BfsWl};
+  const PolicyCase Cases[] = {
+      {SchedPolicy::Static, 0, false},
+      {SchedPolicy::Chunked, 256, false},
+      {SchedPolicy::Chunked, 1024, false},
+      {SchedPolicy::Chunked, 1024, true},
+      {SchedPolicy::Stealing, 256, false},
+      {SchedPolicy::Stealing, 1024, false},
+      {SchedPolicy::Stealing, 4096, false},
+  };
+
+  for (const Input &In : makeAllInputs(Env.Scale)) {
+    std::printf("-- %s (%d nodes, %d arcs) --\n", In.Name.c_str(),
+                In.G.numNodes(), In.G.numEdges());
+    Table T({"kernel", "sched", "wall ms", "crit-path ms", "balance %",
+             "chunks", "stolen", "steal-fail"});
+    for (KernelKind Kind : Kernels) {
+      double StaticCrit = 0.0;
+      for (const PolicyCase &C : Cases) {
+        KernelConfig Cfg = KernelConfig::allOptimizations(*TS, Env.NumTasks);
+        Cfg.Sched = C.Policy;
+        if (C.Chunk > 0)
+          Cfg.ChunkSize = C.Chunk;
+        Cfg.GuidedChunks = C.Guided;
+        Cfg.SchedInstrument = true;
+
+        const Csr &G = graphFor(In, Kind);
+        if (Env.Verify) {
+          KernelOutput Out = runKernel(Kind, Target, G, Cfg, In.Source);
+          if (!verifyKernelOutput(Kind, G, In.Source, Out, Cfg)) {
+            std::fprintf(stderr, "error: %s on %s under %s failed "
+                         "verification\n",
+                         kernelName(Kind), In.Name.c_str(),
+                         C.name().c_str());
+            return 1;
+          }
+        }
+
+        double Wall = 0.0;
+        StatsSnapshot Before = StatsSnapshot::capture();
+        for (int R = 0; R < Env.Reps; ++R)
+          Wall += timeMs([&] { runKernel(Kind, Target, G, Cfg, In.Source); });
+        StatsSnapshot D = StatsSnapshot::capture() - Before;
+        Wall /= Env.Reps;
+
+        double Reps = static_cast<double>(Env.Reps);
+        double Crit =
+            static_cast<double>(D.get(Stat::SchedCriticalNanos)) / Reps;
+        double Busy =
+            static_cast<double>(D.get(Stat::SchedTaskNanos)) / Reps;
+        double Balance =
+            Crit > 0.0 ? 100.0 * Busy / (Crit * Env.NumTasks) : 100.0;
+        if (C.Policy == SchedPolicy::Static)
+          StaticCrit = Crit;
+        std::string CritCell = Table::fmt(Crit / 1e6, 2);
+        if (C.Policy != SchedPolicy::Static && StaticCrit > 0.0 && Crit > 0.0)
+          CritCell += Crit < StaticCrit ? " (-" : " (+";
+        if (C.Policy != SchedPolicy::Static && StaticCrit > 0.0 && Crit > 0.0)
+          CritCell += Table::fmt(100.0 * (Crit > StaticCrit
+                                              ? Crit / StaticCrit - 1.0
+                                              : 1.0 - Crit / StaticCrit),
+                                 0) +
+                      "%)";
+        T.addRow({kernelName(Kind), C.name(), Table::fmt(Wall, 2), CritCell,
+                  Table::fmt(Balance, 1),
+                  Table::fmt(D.get(Stat::ChunksDispatched) /
+                             static_cast<std::uint64_t>(Env.Reps)),
+                  Table::fmt(D.get(Stat::ChunksStolen) /
+                             static_cast<std::uint64_t>(Env.Reps)),
+                  Table::fmt(D.get(Stat::StealFailures) /
+                             static_cast<std::uint64_t>(Env.Reps))});
+      }
+    }
+    T.print();
+    std::printf("\n");
+  }
+  std::printf("expected shape: on rmat, chunked/stealing cut the critical "
+              "path and lift balance %% for the skew-sensitive kernels (pr, "
+              "tri); on road/random, static is already balanced and the "
+              "dynamic policies should only add bounded overhead.\n");
+  return 0;
+}

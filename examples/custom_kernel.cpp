@@ -50,6 +50,9 @@ std::vector<std::int32_t> kCore(const Csr &G, const KernelConfig &Cfg,
     if (RemDeg[static_cast<std::size_t>(I)] < K)
       WL.in().pushSerial(I);
   auto Locals = makeTaskLocals(Cfg);
+  // Shared work distributor: honours Cfg.Sched (static blocks by default,
+  // chunked or stealing for skew-tolerant balance).
+  auto Sched = makeLoopScheduler(Cfg, N + 64);
 
   runPipe(
       Cfg,
@@ -66,7 +69,7 @@ std::vector<std::int32_t> kCore(const Csr &G, const KernelConfig &Cfg,
             pushFrontier<BK>(Cfg, WL.out(), nullptr, Dst, NowBelow);
         };
         forEachWorklistSlice<BK>(
-            Cfg, WL.in().items(), WL.in().size(), TaskIdx, TaskCount,
+            Cfg, *Sched, WL.in().items(), WL.in().size(), TaskIdx, TaskCount,
             [&](VInt<BK> Node, VMask<BK> Act) {
               // Peel each node once (it enters the list exactly once).
               scatter<BK>(Peeled.data(), Node, splat<BK>(1), Act);

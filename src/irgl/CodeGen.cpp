@@ -68,15 +68,15 @@ public:
   void stmt(const Stmt &S, const std::string &Mask) {
     switch (S.kind()) {
     case Stmt::Kind::ForAllNodes:
-      open("forEachNodeSlice<BK>(G.numNodes(), TaskIdx, TaskCount, [&]("
-           "VInt<BK> V_" +
+      open("forEachNodeSlice<BK>(Sched, G.numNodes(), TaskIdx, TaskCount, "
+           "[&](VInt<BK> V_" +
            S.Var + ", VMask<BK> M_outer) {");
       body(S, "M_outer");
       close("});");
       return;
     case Stmt::Kind::ForAllItems:
-      open("forEachWorklistSlice<BK>(Cfg, In.items(), In.size(), TaskIdx, "
-           "TaskCount, [&](VInt<BK> V_" +
+      open("forEachWorklistSlice<BK>(Cfg, Sched, In.items(), In.size(), "
+           "TaskIdx, TaskCount, [&](VInt<BK> V_" +
            S.Var + ", VMask<BK> M_outer) {");
       body(S, "M_outer");
       close("});");
@@ -193,11 +193,12 @@ void emitKernel(std::string &Out, const Program &P, const Kernel &K) {
     Out += " (fibers enabled)";
   Out += ".\ntemplate <typename BK>\n";
   Out += "void " + K.Name +
-         "_kernel(const KernelConfig &Cfg, const Csr &G, " + P.Name +
+         "_kernel(const KernelConfig &Cfg, LoopScheduler &Sched, "
+         "const Csr &G, " + P.Name +
          "_State &State, const Worklist &In, Worklist &Out, TaskLocal &TL, "
          "std::int32_t &Changed, int TaskIdx, int TaskCount) {\n";
   Out += "  using namespace egacs::simd;\n";
-  Out += "  (void)In; (void)Out; (void)TL; (void)Changed;\n";
+  Out += "  (void)Sched; (void)In; (void)Out; (void)TL; (void)Changed;\n";
   if (K.Topology)
     Out += "  std::int32_t ChangedCount = 0;\n";
   Emitter E(Out, P, K.Topology);
@@ -244,12 +245,17 @@ void emitPipe(std::string &Out, const Program &P, const Pipe &Pp) {
     Out += "  WL.in().pushSerial(Source);\n";
   }
   Out += "  auto Locals = makeTaskLocals(Cfg);\n";
+  // One shared scheduler per pipe run; sized for the largest loop any
+  // kernel of the pipe can see (node sweeps or the worklist's capacity).
+  Out += "  auto Sched = makeLoopScheduler(Cfg, "
+         "2 * (static_cast<std::int64_t>(G.numEdges()) + G.numNodes()) + "
+         "64);\n";
   Out += "  std::int32_t Changed = 0;\n";
   Out += "  runPipe(Cfg, std::vector<TaskFn>{\n";
   for (const std::string &Inv : Pp.Invocations) {
     Out += "    TaskFn([&](int TaskIdx, int TaskCount) {\n";
     Out += "      " + Inv +
-           "_kernel<BK>(Cfg, G, State, WL.in(), WL.out(), "
+           "_kernel<BK>(Cfg, *Sched, G, State, WL.in(), WL.out(), "
            "*Locals[TaskIdx], Changed, TaskIdx, TaskCount);\n";
     Out += "    }),\n";
   }

@@ -39,10 +39,10 @@ namespace bfs_detail {
 /// One sparse (worklist) BFS round for one task: expands In's slice into
 /// Out. When \p Local is non-null pushes aggregate fiber-locally.
 template <typename BK>
-void bfsSparseRound(const KernelConfig &Cfg, const Csr &G, std::int32_t *Dist,
-                    std::int32_t NextLevel, const Worklist &In, Worklist &Out,
-                    TaskLocal &TL, int TaskIdx, int TaskCount,
-                    bool FiberLevelCc) {
+void bfsSparseRound(const KernelConfig &Cfg, LoopScheduler &Sched,
+                    const Csr &G, std::int32_t *Dist, std::int32_t NextLevel,
+                    const Worklist &In, Worklist &Out, TaskLocal &TL,
+                    int TaskIdx, int TaskCount, bool FiberLevelCc) {
   using namespace simd;
   LocalPushBuffer *Local = FiberLevelCc && Cfg.Fibers ? &TL.Local : nullptr;
   VInt<BK> Next = splat<BK>(NextLevel);
@@ -51,7 +51,8 @@ void bfsSparseRound(const KernelConfig &Cfg, const Csr &G, std::int32_t *Dist,
     if (any(Won))
       pushFrontier<BK>(Cfg, Out, Local, Dst, Won);
   };
-  forEachWorklistSlice<BK>(Cfg, In.items(), In.size(), TaskIdx, TaskCount,
+  forEachWorklistSlice<BK>(Cfg, Sched, In.items(), In.size(), TaskIdx,
+                           TaskCount,
                            [&](VInt<BK> Node, VMask<BK> Act) {
                              visitEdges<BK>(Cfg, G, Node, Act, TL.Np, OnEdge);
                            });
@@ -75,14 +76,16 @@ std::vector<std::int32_t> bfsWl(const Csr &G, const KernelConfig &Cfg,
   WorklistPair WL(static_cast<std::size_t>(G.numNodes()) + 64);
   WL.in().pushSerial(Source);
   auto Locals = makeTaskLocals(Cfg);
+  auto Sched = makeLoopScheduler(Cfg, G.numNodes() + 64);
   std::int32_t Level = 0;
 
   runPipe(
       Cfg,
       TaskFn([&](int TaskIdx, int TaskCount) {
-        bfs_detail::bfsSparseRound<BK>(Cfg, G, Dist.data(), Level + 1, WL.in(),
-                                   WL.out(), *Locals[TaskIdx], TaskIdx,
-                                   TaskCount, /*FiberLevelCc=*/false);
+        bfs_detail::bfsSparseRound<BK>(Cfg, *Sched, G, Dist.data(), Level + 1,
+                                   WL.in(), WL.out(), *Locals[TaskIdx],
+                                   TaskIdx, TaskCount,
+                                   /*FiberLevelCc=*/false);
       }),
       [&] {
         WL.swap();
@@ -109,14 +112,16 @@ std::vector<std::int32_t> bfsCx(const Csr &G, const KernelConfig &Cfg,
   // output: its share of new frontier nodes.
   auto Locals = makeTaskLocals(
       Cfg, static_cast<std::size_t>(G.numNodes()) / Cfg.NumTasks + 4096);
+  auto Sched = makeLoopScheduler(Cfg, G.numNodes() + 64);
   std::int32_t Level = 0;
 
   runPipe(
       Cfg,
       TaskFn([&](int TaskIdx, int TaskCount) {
-        bfs_detail::bfsSparseRound<BK>(Cfg, G, Dist.data(), Level + 1, WL.in(),
-                                   WL.out(), *Locals[TaskIdx], TaskIdx,
-                                   TaskCount, /*FiberLevelCc=*/true);
+        bfs_detail::bfsSparseRound<BK>(Cfg, *Sched, G, Dist.data(), Level + 1,
+                                   WL.in(), WL.out(), *Locals[TaskIdx],
+                                   TaskIdx, TaskCount,
+                                   /*FiberLevelCc=*/true);
       }),
       [&] {
         WL.swap();
@@ -138,6 +143,7 @@ std::vector<std::int32_t> bfsTp(const Csr &G, const KernelConfig &Cfg,
   Dist[static_cast<std::size_t>(Source)] = 0;
 
   auto Locals = makeTaskLocals(Cfg);
+  auto Sched = makeLoopScheduler(Cfg, G.numNodes());
   std::int32_t Level = 0;
   std::int32_t Expanded = 0; // relaxations performed in the last round
 
@@ -153,7 +159,7 @@ std::vector<std::int32_t> bfsTp(const Csr &G, const KernelConfig &Cfg,
           LocalWins += popcount(Won);
         };
         forEachNodeSlice<BK>(
-            G.numNodes(), TaskIdx, TaskCount,
+            *Sched, G.numNodes(), TaskIdx, TaskCount,
             [&](VInt<BK> Node, VMask<BK> Act) {
               VMask<BK> OnLevel =
                   Act & (gather<BK>(Dist.data(), Node, Act) == Cur);
@@ -190,6 +196,7 @@ std::vector<std::int32_t> bfsHb(const Csr &G, const KernelConfig &Cfg,
   WL.in().pushSerial(Source);
   auto Locals = makeTaskLocals(
       Cfg, static_cast<std::size_t>(G.numNodes()) / Cfg.NumTasks + 4096);
+  auto Sched = makeLoopScheduler(Cfg, G.numNodes() + 64);
   std::int32_t Level = 0;
   bool Dense = false;
 
@@ -198,8 +205,9 @@ std::vector<std::int32_t> bfsHb(const Csr &G, const KernelConfig &Cfg,
       TaskFn([&](int TaskIdx, int TaskCount) {
         TaskLocal &TL = *Locals[TaskIdx];
         if (!Dense) {
-          bfs_detail::bfsSparseRound<BK>(Cfg, G, Dist.data(), Level + 1, WL.in(),
-                                     WL.out(), TL, TaskIdx, TaskCount,
+          bfs_detail::bfsSparseRound<BK>(Cfg, *Sched, G, Dist.data(),
+                                     Level + 1, WL.in(), WL.out(), TL,
+                                     TaskIdx, TaskCount,
                                      /*FiberLevelCc=*/true);
           return;
         }
@@ -214,7 +222,7 @@ std::vector<std::int32_t> bfsHb(const Csr &G, const KernelConfig &Cfg,
             pushFrontier<BK>(Cfg, WL.out(), Local, Dst, Won);
         };
         forEachNodeSlice<BK>(
-            G.numNodes(), TaskIdx, TaskCount,
+            *Sched, G.numNodes(), TaskIdx, TaskCount,
             [&](VInt<BK> Node, VMask<BK> Act) {
               VMask<BK> OnLevel =
                   Act & (gather<BK>(Dist.data(), Node, Act) == Cur);

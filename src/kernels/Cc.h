@@ -42,6 +42,7 @@ std::vector<std::int32_t> connectedComponents(const Csr &G,
   for (NodeId N = 0; N < G.numNodes(); ++N)
     WL.in().pushSerial(N);
   auto Locals = makeTaskLocals(Cfg);
+  auto Sched = makeLoopScheduler(Cfg, static_cast<std::int64_t>(Cap));
 
   runPipe(
       Cfg,
@@ -54,7 +55,7 @@ std::vector<std::int32_t> connectedComponents(const Csr &G,
           if (any(Won))
             pushFrontier<BK>(Cfg, WL.out(), nullptr, Dst, Won);
         };
-        forEachWorklistSlice<BK>(Cfg, WL.in().items(), WL.in().size(),
+        forEachWorklistSlice<BK>(Cfg, *Sched, WL.in().items(), WL.in().size(),
                                  TaskIdx, TaskCount,
                                  [&](VInt<BK> Node, VMask<BK> Act) {
                                    visitEdges<BK>(Cfg, G, Node, Act, TL.Np,

@@ -19,6 +19,7 @@
 #define EGACS_KERNELS_KERNELCONFIG_H
 
 #include "runtime/TaskSystem.h"
+#include "sched/WorkStealing.h"
 
 #include <cstdint>
 
@@ -51,6 +52,19 @@ struct KernelConfig {
   float PrTolerance = 1e-4f;
   /// Hard iteration cap for iterative kernels (safety net).
   int MaxIterations = 1 << 20;
+
+  // --- Work distribution (inter-task load balance) -----------------------
+  /// How vertex/edge loops are carved across tasks: Static contiguous
+  /// blocks (Listing 1), Chunked shared-cursor, or work Stealing deques.
+  SchedPolicy Sched = SchedPolicy::Static;
+  /// Chunk granularity (vertices/edges/items) for Chunked and Stealing.
+  std::int64_t ChunkSize = 1024;
+  /// Guided self-scheduling for Chunked: early chunks are proportional to
+  /// the remaining range, the tail decays to ChunkSize.
+  bool GuidedChunks = false;
+  /// Record per-task busy time and per-episode critical path into the
+  /// Sched* counters (small per-episode clock_gettime overhead).
+  bool SchedInstrument = false;
 
   // --- Ablation knobs (defaults match the paper's choices) ---------------
   /// Cap on the dynamic fiber-count formula (paper: 256, set empirically).

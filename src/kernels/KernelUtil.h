@@ -14,6 +14,10 @@
 ///  * forEachWorklistSlice     - a task's share of the input worklist,
 ///    fiber-interleaved when Fibers is on (the iteration-order effect the
 ///    paper observes on CC's locality);
+///  * forEachNodeSlice         - a task's share of the node id range;
+///  * makeLoopScheduler        - the LoopScheduler instance the two slice
+///    helpers pull their ranges from (Static block, Chunked cursor, or
+///    work Stealing per Cfg.Sched);
 ///  * TaskLocal                - per-task scratch (NP staging, local push
 ///    buffers) allocated once per kernel run.
 ///
@@ -99,48 +103,77 @@ void pushFrontier(const KernelConfig &Cfg, Worklist &Out,
   pushNaive<BK>(Out, Values, M);
 }
 
-/// Iterates task \p TaskIdx's slice of Items[0, Size), one vector at a time:
-/// Body(VInt Values, VMask Active). With Fibers enabled the slice is further
-/// split into the paper's dynamic fiber count and the fibers are stepped
-/// round-robin, emulating a thread block's warps.
+/// Builds the LoopScheduler for one kernel run from Cfg's work-distribution
+/// knobs. \p MaxItems must bound the largest Size any scheduled loop of the
+/// run will see (worklist capacity for frontier sweeps, numNodes/numEdges
+/// for topology sweeps); it sizes the stealing deques.
+inline std::unique_ptr<LoopScheduler>
+makeLoopScheduler(const KernelConfig &Cfg, std::int64_t MaxItems) {
+  return std::make_unique<LoopScheduler>(Cfg.Sched, Cfg.NumTasks,
+                                         Cfg.ChunkSize, Cfg.GuidedChunks,
+                                         MaxItems, Cfg.SchedInstrument);
+}
+
+/// Iterates Items[Begin, End) one vector at a time: Body(VInt Values,
+/// VMask Active). With Fibers enabled the range is further split into the
+/// paper's dynamic fiber count (computed from the full worklist \p TotalSize
+/// so fiber granularity is independent of how the range was scheduled) and
+/// the fibers are stepped round-robin, emulating a thread block's warps.
 template <typename BK, typename BodyT>
-void forEachWorklistSlice(const KernelConfig &Cfg, const NodeId *Items,
-                          std::int64_t Size, int TaskIdx, int TaskCount,
-                          BodyT &&Body) {
-  TaskRange R = TaskRange::block(Size, TaskIdx, TaskCount);
+void forEachWorklistRange(const KernelConfig &Cfg, const NodeId *Items,
+                          std::int64_t TotalSize, std::int64_t Begin,
+                          std::int64_t End, int TaskCount, BodyT &&Body) {
   if (!Cfg.Fibers) {
-    forEachVector<BK>(Items, R.Begin, R.End, Body);
+    forEachVector<BK>(Items, Begin, End, Body);
     return;
   }
 
-  int NumFibers = FiberConfig::numFibersPerTask(Size, BK::Width, TaskCount,
+  int NumFibers = FiberConfig::numFibersPerTask(TotalSize, BK::Width,
+                                                TaskCount,
                                                 Cfg.MaxFibersPerTask);
-  std::int64_t SliceLen = R.End - R.Begin;
-  std::int64_t PerFiber =
-      (SliceLen + NumFibers - 1) / NumFibers;
+  std::int64_t RangeLen = End - Begin;
+  std::int64_t PerFiber = (RangeLen + NumFibers - 1) / NumFibers;
   // Round fiber stride up to whole vectors so fibers stay vector-aligned.
   PerFiber = (PerFiber + BK::Width - 1) / BK::Width * BK::Width;
   std::int64_t MaxSteps = (PerFiber + BK::Width - 1) / BK::Width;
   for (std::int64_t Step = 0; Step < MaxSteps; ++Step) {
     for (int F = 0; F < NumFibers; ++F) {
-      std::int64_t Begin = R.Begin + F * PerFiber + Step * BK::Width;
-      std::int64_t FiberEnd = R.Begin + (F + 1) * PerFiber;
-      std::int64_t End = FiberEnd < R.End ? FiberEnd : R.End;
-      if (Begin >= End)
+      std::int64_t FBegin = Begin + F * PerFiber + Step * BK::Width;
+      std::int64_t FiberEnd = Begin + (F + 1) * PerFiber;
+      std::int64_t FEnd = FiberEnd < End ? FiberEnd : End;
+      if (FBegin >= FEnd)
         continue;
-      std::int64_t VecEnd = Begin + BK::Width < End ? Begin + BK::Width : End;
-      forEachVector<BK>(Items, Begin, VecEnd, Body);
+      std::int64_t VecEnd =
+          FBegin + BK::Width < FEnd ? FBegin + BK::Width : FEnd;
+      forEachVector<BK>(Items, FBegin, VecEnd, Body);
     }
   }
 }
 
-/// Iterates task \p TaskIdx's slice of node ids [0, NumNodes) one vector at
-/// a time (topology-driven kernels).
+/// Iterates task \p TaskIdx's share of Items[0, Size), one vector at a
+/// time: Body(VInt Values, VMask Active). The share is whatever ranges
+/// \p Sched hands this task (the whole static block, or dynamic chunks);
+/// each range is fiber-interleaved per forEachWorklistRange.
 template <typename BK, typename BodyT>
-void forEachNodeSlice(std::int64_t NumNodes, int TaskIdx, int TaskCount,
-                      BodyT &&Body) {
-  TaskRange R = TaskRange::block(NumNodes, TaskIdx, TaskCount);
-  forEachNodeVector<BK>(R.Begin, R.End, Body);
+void forEachWorklistSlice(const KernelConfig &Cfg, LoopScheduler &Sched,
+                          const NodeId *Items, std::int64_t Size, int TaskIdx,
+                          int TaskCount, BodyT &&Body) {
+  Sched.forRanges(Size, TaskIdx, TaskCount,
+                  [&](std::int64_t Begin, std::int64_t End) {
+                    forEachWorklistRange<BK>(Cfg, Items, Size, Begin, End,
+                                             TaskCount, Body);
+                  });
+}
+
+/// Iterates task \p TaskIdx's share of node ids [0, NumNodes) one vector at
+/// a time (topology-driven kernels), pulling ranges from \p Sched.
+template <typename BK, typename BodyT>
+void forEachNodeSlice(LoopScheduler &Sched, std::int64_t NumNodes,
+                      int TaskIdx, int TaskCount, BodyT &&Body) {
+  Sched.forRanges(NumNodes, TaskIdx, TaskCount,
+                  [&](std::int64_t Begin, std::int64_t End) {
+                    forEachNodeVector<BK>(Begin, End, Body);
+                  });
 }
 
 } // namespace egacs

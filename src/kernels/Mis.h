@@ -54,6 +54,7 @@ std::vector<std::int32_t> maximalIndependentSet(const Csr &G,
   for (NodeId I = 0; I < N; ++I)
     WL.in().pushSerial(I);
   auto Locals = makeTaskLocals(Cfg);
+  auto Sched = makeLoopScheduler(Cfg, static_cast<std::int64_t>(Cap));
 
   // Beats = true where (PrioA, IdA) > (PrioB, IdB).
   auto Beats = [&](VInt<BK> PrioA, VInt<BK> IdA, VInt<BK> PrioB,
@@ -63,7 +64,7 @@ std::vector<std::int32_t> maximalIndependentSet(const Csr &G,
 
   TaskFn MarkCandidates = [&](int TaskIdx, int TaskCount) {
     forEachWorklistSlice<BK>(
-        Cfg, WL.in().items(), WL.in().size(), TaskIdx, TaskCount,
+        Cfg, *Sched, WL.in().items(), WL.in().size(), TaskIdx, TaskCount,
         [&](VInt<BK> Node, VMask<BK> Act) {
           scatter<BK>(State.data(), Node, splat<BK>(MisCandidate), Act);
         });
@@ -87,7 +88,7 @@ std::vector<std::int32_t> maximalIndependentSet(const Csr &G,
       scatter<BK>(State.data(), Src, splat<BK>(MisUndecided),
                   andNot(BothCand, SrcWins));
     };
-    forEachWorklistSlice<BK>(Cfg, WL.in().items(), WL.in().size(), TaskIdx,
+    forEachWorklistSlice<BK>(Cfg, *Sched, WL.in().items(), WL.in().size(), TaskIdx,
                              TaskCount,
                              [&](VInt<BK> Node, VMask<BK> Act) {
                                visitEdges<BK>(Cfg, G, Node, Act, TL.Np,
@@ -98,7 +99,7 @@ std::vector<std::int32_t> maximalIndependentSet(const Csr &G,
 
   TaskFn PromoteSurvivors = [&](int TaskIdx, int TaskCount) {
     forEachWorklistSlice<BK>(
-        Cfg, WL.in().items(), WL.in().size(), TaskIdx, TaskCount,
+        Cfg, *Sched, WL.in().items(), WL.in().size(), TaskIdx, TaskCount,
         [&](VInt<BK> Node, VMask<BK> Act) {
           VInt<BK> S = gather<BK>(State.data(), Node, Act);
           scatter<BK>(State.data(), Node, splat<BK>(MisIn),
@@ -116,7 +117,7 @@ std::vector<std::int32_t> maximalIndependentSet(const Csr &G,
                           (DstState == splat<BK>(MisIn));
       scatter<BK>(State.data(), Src, splat<BK>(MisOut), Exclude);
     };
-    forEachWorklistSlice<BK>(Cfg, WL.in().items(), WL.in().size(), TaskIdx,
+    forEachWorklistSlice<BK>(Cfg, *Sched, WL.in().items(), WL.in().size(), TaskIdx,
                              TaskCount,
                              [&](VInt<BK> Node, VMask<BK> Act) {
                                visitEdges<BK>(Cfg, G, Node, Act, TL.Np,
@@ -127,7 +128,7 @@ std::vector<std::int32_t> maximalIndependentSet(const Csr &G,
 
   TaskFn Rebuild = [&](int TaskIdx, int TaskCount) {
     forEachWorklistSlice<BK>(
-        Cfg, WL.in().items(), WL.in().size(), TaskIdx, TaskCount,
+        Cfg, *Sched, WL.in().items(), WL.in().size(), TaskIdx, TaskCount,
         [&](VInt<BK> Node, VMask<BK> Act) {
           VInt<BK> S = gather<BK>(State.data(), Node, Act);
           VMask<BK> Still = Act & (S == splat<BK>(MisUndecided));

@@ -50,6 +50,8 @@ MstResult boruvkaMst(const Csr &G, const KernelConfig &Cfg) {
   std::vector<std::int64_t> Best(static_cast<std::size_t>(N), NoEdge);
 
   auto Locals = makeTaskLocals(Cfg);
+  std::int64_t MaxItems = G.numEdges() > N ? G.numEdges() : N;
+  auto Sched = makeLoopScheduler(Cfg, MaxItems);
   std::int32_t Hooked = 0; // components hooked in the current round
 
   // Vectorized find: chase parents until fixpoint (lists are compressed by
@@ -66,17 +68,20 @@ MstResult boruvkaMst(const Csr &G, const KernelConfig &Cfg) {
   };
 
   TaskFn ResetBest = [&](int TaskIdx, int TaskCount) {
-    TaskRange R = TaskRange::block(N, TaskIdx, TaskCount);
-    for (std::int64_t I = R.Begin; I < R.End; ++I)
-      Best[static_cast<std::size_t>(I)] = NoEdge;
+    Sched->forRanges(N, TaskIdx, TaskCount,
+                     [&](std::int64_t RB, std::int64_t RE) {
+                       for (std::int64_t I = RB; I < RE; ++I)
+                         Best[static_cast<std::size_t>(I)] = NoEdge;
+                     });
   };
 
   // Each component's minimum outgoing edge via 64-bit atomic min.
   TaskFn FindMinEdges = [&](int TaskIdx, int TaskCount) {
-    TaskRange R = TaskRange::block(G.numEdges(), TaskIdx, TaskCount);
-    for (std::int64_t EBase = R.Begin; EBase < R.End; EBase += BK::Width) {
+    Sched->forRanges(G.numEdges(), TaskIdx, TaskCount, [&](std::int64_t RB,
+                                                           std::int64_t RE) {
+    for (std::int64_t EBase = RB; EBase < RE; EBase += BK::Width) {
       int Valid = static_cast<int>(
-          R.End - EBase < BK::Width ? R.End - EBase : BK::Width);
+          RE - EBase < BK::Width ? RE - EBase : BK::Width);
       VMask<BK> Act = maskFirstN<BK>(Valid);
       VInt<BK> U = maskedLoad<BK>(EdgeSrc.data() + EBase, Act);
       VInt<BK> V = maskedLoad<BK>(G.edgeDst() + EBase, Act);
@@ -99,6 +104,7 @@ MstResult boruvkaMst(const Csr &G, const KernelConfig &Cfg) {
                           Packed);
       }
     }
+    });
   };
 
   // Hook components along their best edges; the smaller root of a mutual
@@ -106,8 +112,9 @@ MstResult boruvkaMst(const Csr &G, const KernelConfig &Cfg) {
   TaskFn HookComponents = [&](int TaskIdx, int TaskCount) {
     std::int32_t LocalHooks = 0;
     std::int64_t LocalWeight = 0;
-    TaskRange R = TaskRange::block(N, TaskIdx, TaskCount);
-    for (std::int64_t C = R.Begin; C < R.End; ++C) {
+    Sched->forRanges(N, TaskIdx, TaskCount, [&](std::int64_t RB,
+                                                std::int64_t RE) {
+    for (std::int64_t C = RB; C < RE; ++C) {
       std::int64_t Packed = Best[static_cast<std::size_t>(C)];
       if (Packed == NoEdge)
         continue;
@@ -136,6 +143,7 @@ MstResult boruvkaMst(const Csr &G, const KernelConfig &Cfg) {
         LocalWeight += W;
       }
     }
+    });
     if (LocalHooks) {
       atomicAddGlobal(&Hooked, LocalHooks);
       atomicAddGlobal64(&Result.TotalWeight, LocalWeight);
@@ -145,7 +153,7 @@ MstResult boruvkaMst(const Csr &G, const KernelConfig &Cfg) {
 
   // Pointer jumping: halve every chain until all nodes point at roots.
   TaskFn Compress = [&](int TaskIdx, int TaskCount) {
-    forEachNodeSlice<BK>(N, TaskIdx, TaskCount,
+    forEachNodeSlice<BK>(*Sched, N, TaskIdx, TaskCount,
                          [&](VInt<BK> Node, VMask<BK> Act) {
                            VMask<BK> Moving = Act;
                            VInt<BK> X = Node;

@@ -79,23 +79,9 @@ inline void runPipe(const KernelConfig &Cfg, const TaskFn &Phase,
   runPipe(Cfg, std::vector<TaskFn>{Phase}, AdvanceAndContinue);
 }
 
-/// Splits [0, Size) into NumTasks contiguous blocks and returns task
-/// TaskIdx's [Begin, End) (the Listing 1 data decomposition).
-struct TaskRange {
-  std::int64_t Begin;
-  std::int64_t End;
-
-  static TaskRange block(std::int64_t Size, int TaskIdx, int TaskCount) {
-    std::int64_t PerTask = (Size + TaskCount - 1) / TaskCount;
-    std::int64_t Begin = static_cast<std::int64_t>(TaskIdx) * PerTask;
-    std::int64_t End = Begin + PerTask;
-    if (Begin > Size)
-      Begin = Size;
-    if (End > Size)
-      End = Size;
-    return {Begin, End};
-  }
-};
+// TaskRange (the Listing 1 static block decomposition) moved to
+// sched/WorkStealing.h, which also provides its dynamic alternatives; it is
+// still visible here through kernels/KernelConfig.h.
 
 } // namespace egacs
 

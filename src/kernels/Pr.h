@@ -39,6 +39,7 @@ std::vector<float> pageRank(const Csr &G, const KernelConfig &Cfg,
   std::vector<float> Accum(static_cast<std::size_t>(N), 0.0f);
 
   auto Locals = makeTaskLocals(Cfg);
+  auto Sched = makeLoopScheduler(Cfg, N);
   // Max residual of the current round, stored as float bits (non-negative
   // floats compare correctly as int32).
   std::int32_t MaxDiffBits = 0;
@@ -48,7 +49,7 @@ std::vector<float> pageRank(const Csr &G, const KernelConfig &Cfg,
   // Phase 1: per-node out-contribution rank/degree (0 for sinks).
   TaskFn ComputeContrib = [&](int TaskIdx, int TaskCount) {
     forEachNodeSlice<BK>(
-        N, TaskIdx, TaskCount, [&](VInt<BK> Node, VMask<BK> Act) {
+        *Sched, N, TaskIdx, TaskCount, [&](VInt<BK> Node, VMask<BK> Act) {
           VInt<BK> Row = gather<BK>(G.rowStart(), Node, Act);
           VInt<BK> End = gather<BK>(G.rowStart() + 1, Node, Act);
           VInt<BK> Deg = End - Row;
@@ -69,7 +70,7 @@ std::vector<float> pageRank(const Csr &G, const KernelConfig &Cfg,
       VFloat<BK> C = gatherF<BK>(Contrib.data(), Src, EAct);
       atomicAddVectorF<BK>(Accum.data(), Dst, C, EAct);
     };
-    forEachNodeSlice<BK>(N, TaskIdx, TaskCount,
+    forEachNodeSlice<BK>(*Sched, N, TaskIdx, TaskCount,
                          [&](VInt<BK> Node, VMask<BK> Act) {
                            visitEdges<BK>(Cfg, G, Node, Act, TL.Np, OnEdge);
                          });
@@ -79,9 +80,8 @@ std::vector<float> pageRank(const Csr &G, const KernelConfig &Cfg,
   // Phase 3: apply damping, measure residual, reset accumulators.
   TaskFn ApplyAndResidual = [&](int TaskIdx, int TaskCount) {
     float LocalMax = 0.0f;
-    TaskRange R = TaskRange::block(N, TaskIdx, TaskCount);
-    forEachNodeVector<BK>(
-        R.Begin, R.End, [&](VInt<BK> Node, VMask<BK> Act) {
+    forEachNodeSlice<BK>(
+        *Sched, N, TaskIdx, TaskCount, [&](VInt<BK> Node, VMask<BK> Act) {
           VFloat<BK> Old = gatherF<BK>(Rank.data(), Node, Act);
           VFloat<BK> Sum = gatherF<BK>(Accum.data(), Node, Act);
           VFloat<BK> New = splatF<BK>(Base) + splatF<BK>(Cfg.PrDamping) * Sum;

@@ -47,6 +47,7 @@ std::vector<std::int32_t> ssspNf(const Csr &G, const KernelConfig &Cfg,
   Worklist Far(Cap), FarNext(Cap);
   Near.in().pushSerial(Source);
   auto Locals = makeTaskLocals(Cfg);
+  auto Sched = makeLoopScheduler(Cfg, static_cast<std::int64_t>(Cap));
   std::int32_t Threshold = Cfg.Delta;
 
   runPipe(
@@ -69,8 +70,8 @@ std::vector<std::int32_t> ssspNf(const Csr &G, const KernelConfig &Cfg,
           if (any(ToFar))
             pushFrontier<BK>(Cfg, Far, nullptr, Dst, ToFar);
         };
-        forEachWorklistSlice<BK>(Cfg, Near.in().items(), Near.in().size(),
-                                 TaskIdx, TaskCount,
+        forEachWorklistSlice<BK>(Cfg, *Sched, Near.in().items(),
+                                 Near.in().size(), TaskIdx, TaskCount,
                                  [&](VInt<BK> Node, VMask<BK> Act) {
                                    visitEdges<BK>(Cfg, G, Node, Act, TL.Np,
                                                   OnEdge);

@@ -42,13 +42,18 @@ std::int64_t triangleCount(const Csr &G, const KernelConfig &Cfg) {
     return 0;
   std::vector<NodeId> EdgeSrc = buildEdgeSources(G);
   std::int64_t Total = 0;
+  auto Sched = makeLoopScheduler(Cfg, G.numEdges());
 
   Cfg.TS->launch(Cfg.NumTasks, [&](int TaskIdx, int TaskCount) {
     std::int64_t LocalCount = 0;
-    TaskRange R = TaskRange::block(G.numEdges(), TaskIdx, TaskCount);
-    for (std::int64_t EBase = R.Begin; EBase < R.End; EBase += BK::Width) {
+    // Edge-parallel loop: lanes take consecutive (u, v) edges of each
+    // scheduled range. Per-edge work varies with deg(u) + deg(v), so the
+    // dynamic policies pay off most here on skewed graphs.
+    Sched->forRanges(G.numEdges(), TaskIdx, TaskCount, [&](std::int64_t RB,
+                                                           std::int64_t RE) {
+    for (std::int64_t EBase = RB; EBase < RE; EBase += BK::Width) {
       int Valid = static_cast<int>(
-          R.End - EBase < BK::Width ? R.End - EBase : BK::Width);
+          RE - EBase < BK::Width ? RE - EBase : BK::Width);
       VMask<BK> Act = maskFirstN<BK>(Valid);
       VInt<BK> U = maskedLoad<BK>(EdgeSrc.data() + EBase, Act);
       VInt<BK> V = maskedLoad<BK>(G.edgeDst() + EBase, Act);
@@ -77,6 +82,7 @@ std::int64_t triangleCount(const Csr &G, const KernelConfig &Cfg) {
         Live = Live & (Pu < EndU) & (Pv < EndV);
       }
     }
+    });
     if (LocalCount)
       atomicAddGlobal64(&Total, LocalCount);
   });

@@ -10,6 +10,8 @@
 #include "support/Stats.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -246,6 +248,11 @@ TaskSystemKind egacs::parseTaskSystemKind(const std::string &Name) {
     return TaskSystemKind::Pool;
   if (Name == "spin")
     return TaskSystemKind::SpinPool;
-  assert(false && "unknown task system name");
-  return TaskSystemKind::Serial;
+  // Report and exit: an assert would compile out of release builds and
+  // silently fall back to Serial, turning a typo into a bogus benchmark.
+  std::fprintf(stderr,
+               "error: unknown task system '%s' (expected "
+               "serial|spawn|pool|spin)\n",
+               Name.c_str());
+  std::exit(2);
 }

@@ -1,0 +1,39 @@
+//===- sched/WorkStealing.cpp - Dynamic work distribution -----------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/WorkStealing.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace egacs;
+
+const char *egacs::schedPolicyName(SchedPolicy P) {
+  switch (P) {
+  case SchedPolicy::Static:
+    return "static";
+  case SchedPolicy::Chunked:
+    return "chunked";
+  case SchedPolicy::Stealing:
+    return "stealing";
+  }
+  return "<invalid>";
+}
+
+SchedPolicy egacs::parseSchedPolicy(const std::string &Name) {
+  if (Name == "static")
+    return SchedPolicy::Static;
+  if (Name == "chunked")
+    return SchedPolicy::Chunked;
+  if (Name == "stealing")
+    return SchedPolicy::Stealing;
+  std::fprintf(stderr,
+               "error: unknown sched policy '%s' (expected "
+               "static|chunked|stealing)\n",
+               Name.c_str());
+  std::exit(2);
+}

@@ -39,6 +39,18 @@ const char *egacs::statName(Stat S) {
     return "task-launches";
   case Stat::BarrierWaits:
     return "barrier-waits";
+  case Stat::ChunksDispatched:
+    return "chunks-dispatched";
+  case Stat::ChunksStolen:
+    return "chunks-stolen";
+  case Stat::StealFailures:
+    return "steal-failures";
+  case Stat::SchedTaskNanos:
+    return "sched-task-nanos";
+  case Stat::SchedCriticalNanos:
+    return "sched-critical-nanos";
+  case Stat::SchedEpisodes:
+    return "sched-episodes";
   case Stat::NumStats:
     break;
   }

@@ -43,6 +43,19 @@ enum class Stat : unsigned {
   TaskLaunches,
   /// Barrier episodes executed inside outlined iterations.
   BarrierWaits,
+  /// Chunks handed to tasks by the loop scheduler (all policies).
+  ChunksDispatched,
+  /// Chunks a task stole from another task's deque.
+  ChunksStolen,
+  /// Steal attempts that lost a race (Chase-Lev CAS abort).
+  StealFailures,
+  /// Per-task CPU time spent inside scheduled loops (instrumented runs).
+  SchedTaskNanos,
+  /// Sum over episodes of the slowest task's CPU time (the critical path a
+  /// machine with >= NumTasks cores would observe).
+  SchedCriticalNanos,
+  /// Scheduled-loop episodes measured by the instrumentation.
+  SchedEpisodes,
   NumStats
 };
 

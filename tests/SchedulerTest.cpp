@@ -1,0 +1,323 @@
+//===- tests/SchedulerTest.cpp - Work-distribution layer tests ------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for sched/WorkStealing.h: TaskRange::block edge cases, the
+/// StealDeque owner/thief protocol, and — the property everything rests on —
+/// every index in [0, Size) dispatched exactly once under every policy, with
+/// real concurrent stealing and across multiple barrier episodes. The whole
+/// file is exercised by the ThreadSanitizer CI job.
+///
+//===----------------------------------------------------------------------===//
+
+#include "graph/Generators.h"
+#include "kernels/Bfs.h"
+#include "kernels/Cc.h"
+#include "kernels/Pr.h"
+#include "kernels/Reference.h"
+#include "runtime/Barrier.h"
+#include "runtime/TaskSystem.h"
+#include "sched/WorkStealing.h"
+#include "simd/Targets.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace egacs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// TaskRange::block edge cases
+//===----------------------------------------------------------------------===//
+
+TEST(TaskRangeTest, EmptyRange) {
+  for (int Tasks : {1, 3, 8}) {
+    for (int T = 0; T < Tasks; ++T) {
+      TaskRange R = TaskRange::block(0, T, Tasks);
+      EXPECT_EQ(R.Begin, 0);
+      EXPECT_EQ(R.End, 0);
+    }
+  }
+}
+
+TEST(TaskRangeTest, MoreTasksThanItems) {
+  constexpr std::int64_t Size = 3;
+  constexpr int Tasks = 8;
+  std::vector<int> Hits(Size, 0);
+  for (int T = 0; T < Tasks; ++T) {
+    TaskRange R = TaskRange::block(Size, T, Tasks);
+    EXPECT_LE(R.Begin, R.End);
+    EXPECT_GE(R.Begin, 0);
+    EXPECT_LE(R.End, Size);
+    for (std::int64_t I = R.Begin; I < R.End; ++I)
+      ++Hits[static_cast<std::size_t>(I)];
+  }
+  for (std::int64_t I = 0; I < Size; ++I)
+    EXPECT_EQ(Hits[static_cast<std::size_t>(I)], 1) << "index " << I;
+}
+
+TEST(TaskRangeTest, NonDivisibleSizesPartitionExactly) {
+  for (std::int64_t Size : {1, 2, 5, 17, 100, 101, 1023}) {
+    for (int Tasks : {1, 2, 3, 7, 16, 33}) {
+      std::int64_t Covered = 0;
+      std::int64_t PrevEnd = 0;
+      for (int T = 0; T < Tasks; ++T) {
+        TaskRange R = TaskRange::block(Size, T, Tasks);
+        EXPECT_EQ(R.Begin, PrevEnd) << "blocks must tile contiguously";
+        EXPECT_LE(R.End, Size);
+        Covered += R.End - R.Begin;
+        PrevEnd = R.End;
+      }
+      EXPECT_EQ(PrevEnd, Size);
+      EXPECT_EQ(Covered, Size);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// StealDeque protocol
+//===----------------------------------------------------------------------===//
+
+TEST(StealDequeTest, OwnerPopsLifoThiefStealsFifo) {
+  StealDeque D;
+  D.allocate(8);
+  for (std::int64_t I = 0; I < 4; ++I)
+    D.push(I);
+
+  std::int64_t X = -1;
+  ASSERT_EQ(D.steal(X), StealDeque::StealResult::Success);
+  EXPECT_EQ(X, 0) << "thief takes the oldest chunk";
+  ASSERT_TRUE(D.pop(X));
+  EXPECT_EQ(X, 3) << "owner takes the newest chunk";
+  ASSERT_TRUE(D.pop(X));
+  EXPECT_EQ(X, 2);
+  ASSERT_EQ(D.steal(X), StealDeque::StealResult::Success);
+  EXPECT_EQ(X, 1);
+  EXPECT_FALSE(D.pop(X));
+  EXPECT_EQ(D.steal(X), StealDeque::StealResult::Empty);
+  EXPECT_TRUE(D.empty());
+}
+
+TEST(StealDequeTest, ConcurrentThievesTakeEachChunkOnce) {
+  constexpr std::int64_t NumChunks = 512;
+  constexpr int NumThieves = 4;
+  StealDeque D;
+  D.allocate(NumChunks);
+  for (std::int64_t I = 0; I < NumChunks; ++I)
+    D.push(I);
+
+  std::vector<std::atomic<int>> Taken(NumChunks);
+  for (auto &A : Taken)
+    A.store(0);
+
+  std::vector<std::thread> Thieves;
+  for (int T = 0; T < NumThieves; ++T)
+    Thieves.emplace_back([&] {
+      for (;;) {
+        std::int64_t X;
+        StealDeque::StealResult R = D.steal(X);
+        if (R == StealDeque::StealResult::Empty)
+          return;
+        if (R == StealDeque::StealResult::Success)
+          Taken[static_cast<std::size_t>(X)].fetch_add(1);
+      }
+    });
+  // The owner pops concurrently, racing the thieves for the last chunks.
+  std::int64_t OwnerTaken = 0;
+  std::int64_t X;
+  while (D.pop(X)) {
+    Taken[static_cast<std::size_t>(X)].fetch_add(1);
+    ++OwnerTaken;
+  }
+  for (auto &T : Thieves)
+    T.join();
+
+  for (std::int64_t I = 0; I < NumChunks; ++I)
+    EXPECT_EQ(Taken[static_cast<std::size_t>(I)].load(), 1)
+        << "chunk " << I << " dispatched wrong number of times";
+  EXPECT_GE(OwnerTaken, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// LoopScheduler: dispatch exactly once, all policies
+//===----------------------------------------------------------------------===//
+
+struct SchedCase {
+  SchedPolicy Policy;
+  bool Guided;
+};
+
+class LoopSchedulerTest
+    : public ::testing::TestWithParam<std::tuple<SchedCase, int>> {};
+
+/// Every index of every episode dispatched exactly once, under concurrent
+/// tasks, odd sizes, and multiple barrier episodes reusing one scheduler.
+TEST_P(LoopSchedulerTest, DispatchesEveryIndexExactlyOnce) {
+  auto [Case, NumTasks] = GetParam();
+  constexpr std::int64_t MaxItems = 10007; // prime: nothing divides evenly
+  const std::int64_t Sizes[] = {MaxItems, 0, 1, 64, 4097, MaxItems / 3};
+
+  LoopScheduler Sched(Case.Policy, NumTasks, /*ChunkSize=*/64, Case.Guided,
+                      MaxItems, /*Instrument=*/true);
+  ThreadPoolTaskSystem Pool(NumTasks);
+  Barrier Bar(NumTasks);
+
+  std::vector<std::atomic<int>> Hits(MaxItems);
+  Pool.launch(NumTasks, [&](int TaskIdx, int TaskCount) {
+    for (std::int64_t Size : Sizes) {
+      if (TaskIdx == 0)
+        for (std::int64_t I = 0; I < Size; ++I)
+          Hits[static_cast<std::size_t>(I)].store(0,
+                                                  std::memory_order_relaxed);
+      Bar.wait();
+      Sched.forRanges(Size, TaskIdx, TaskCount,
+                      [&](std::int64_t B, std::int64_t E) {
+                        ASSERT_LE(0, B);
+                        ASSERT_LE(B, E);
+                        ASSERT_LE(E, Size);
+                        for (std::int64_t I = B; I < E; ++I)
+                          Hits[static_cast<std::size_t>(I)].fetch_add(
+                              1, std::memory_order_relaxed);
+                      });
+      Bar.wait(); // orders the episode reset before the next check
+      if (TaskIdx == 0)
+        for (std::int64_t I = 0; I < Size; ++I)
+          ASSERT_EQ(Hits[static_cast<std::size_t>(I)].load(
+                        std::memory_order_relaxed),
+                    1)
+              << "index " << I << " of size " << Size;
+      Bar.wait();
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, LoopSchedulerTest,
+    ::testing::Combine(
+        ::testing::Values(SchedCase{SchedPolicy::Static, false},
+                          SchedCase{SchedPolicy::Chunked, false},
+                          SchedCase{SchedPolicy::Chunked, true},
+                          SchedCase{SchedPolicy::Stealing, false}),
+        ::testing::Values(1, 2, 4, 8)),
+    [](const auto &Info) {
+      const SchedCase &Case = std::get<0>(Info.param);
+      std::string Name = schedPolicyName(Case.Policy);
+      if (Case.Guided)
+        Name += "Guided";
+      return Name + "x" + std::to_string(std::get<1>(Info.param));
+    });
+
+/// Serial execution must not deadlock: every policy must complete when the
+/// tasks of one episode run sequentially (SerialTaskSystem), which forbids
+/// any wait-for-other-tasks loop inside forRanges.
+TEST(LoopSchedulerSerial, NoDeadlockUnderSerialTasks) {
+  for (SchedPolicy P :
+       {SchedPolicy::Static, SchedPolicy::Chunked, SchedPolicy::Stealing}) {
+    constexpr int NumTasks = 4;
+    constexpr std::int64_t Size = 1000;
+    LoopScheduler Sched(P, NumTasks, /*ChunkSize=*/16, /*Guided=*/false,
+                        Size);
+    SerialTaskSystem TS;
+    std::vector<int> Hits(Size, 0);
+    TS.launch(NumTasks, [&](int TaskIdx, int TaskCount) {
+      Sched.forRanges(Size, TaskIdx, TaskCount,
+                      [&](std::int64_t B, std::int64_t E) {
+                        for (std::int64_t I = B; I < E; ++I)
+                          ++Hits[static_cast<std::size_t>(I)];
+                      });
+    });
+    for (std::int64_t I = 0; I < Size; ++I)
+      ASSERT_EQ(Hits[static_cast<std::size_t>(I)], 1)
+          << schedPolicyName(P) << " index " << I;
+  }
+}
+
+#ifdef EGACS_STATS
+/// Forces a steal deterministically: task 0 stalls inside its first chunk
+/// while task 1 drains its own block and then steals the rest of task 0's.
+TEST(LoopSchedulerStealing, StallingOwnerGetsRobbed) {
+  constexpr int NumTasks = 2;
+  constexpr std::int64_t Size = 1024;
+  constexpr std::int64_t Chunk = 64;
+  LoopScheduler Sched(SchedPolicy::Stealing, NumTasks, Chunk,
+                      /*Guided=*/false, Size);
+  ThreadPoolTaskSystem Pool(NumTasks);
+
+  std::uint64_t StolenBefore = statGet(Stat::ChunksStolen);
+  std::vector<std::atomic<int>> Hits(Size);
+  for (auto &H : Hits)
+    H.store(0);
+  std::atomic<bool> Stalled{false};
+
+  Pool.launch(NumTasks, [&](int TaskIdx, int TaskCount) {
+    Sched.forRanges(Size, TaskIdx, TaskCount,
+                    [&](std::int64_t B, std::int64_t E) {
+                      if (TaskIdx == 0 && !Stalled.exchange(true))
+                        // First chunk of the slow task: a hub-vertex stand-in.
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(200));
+                      for (std::int64_t I = B; I < E; ++I)
+                        Hits[static_cast<std::size_t>(I)].fetch_add(1);
+                    });
+  });
+
+  for (std::int64_t I = 0; I < Size; ++I)
+    ASSERT_EQ(Hits[static_cast<std::size_t>(I)].load(), 1) << "index " << I;
+  EXPECT_GT(statGet(Stat::ChunksStolen), StolenBefore)
+      << "task 1 should have stolen from the stalled task 0";
+}
+#endif // EGACS_STATS
+
+//===----------------------------------------------------------------------===//
+// Kernel-level: results stay correct under the dynamic policies
+//===----------------------------------------------------------------------===//
+
+TEST(SchedKernels, BfsPrCcMatchReferenceUnderDynamicPolicies) {
+  using BK = simd::NativeBackend;
+  Csr G = namedGraph("rmat", /*Scale=*/8);
+  auto RefDist = refBfs(G, /*Source=*/0);
+  auto RefComp = refConnectedComponents(G);
+
+  ThreadPoolTaskSystem Pool(4);
+  for (SchedPolicy P : {SchedPolicy::Chunked, SchedPolicy::Stealing}) {
+    KernelConfig Cfg = KernelConfig::allOptimizations(Pool, 4);
+    Cfg.Sched = P;
+    Cfg.ChunkSize = 32;
+    EXPECT_EQ(bfsWl<BK>(G, Cfg, 0), RefDist) << schedPolicyName(P);
+    EXPECT_EQ(connectedComponents<BK>(G, Cfg), RefComp) << schedPolicyName(P);
+
+    auto Pr = pageRank<BK>(G, Cfg);
+    auto RefPr = refPageRank(G, Cfg.PrDamping, Cfg.PrTolerance, 50);
+    ASSERT_EQ(Pr.size(), RefPr.size());
+    for (std::size_t I = 0; I < Pr.size(); ++I)
+      ASSERT_NEAR(Pr[I], RefPr[I], 1e-3f) << schedPolicyName(P);
+  }
+}
+
+TEST(SchedKernels, ParseSchedPolicyRoundTrips) {
+  EXPECT_EQ(parseSchedPolicy("static"), SchedPolicy::Static);
+  EXPECT_EQ(parseSchedPolicy("chunked"), SchedPolicy::Chunked);
+  EXPECT_EQ(parseSchedPolicy("stealing"), SchedPolicy::Stealing);
+  EXPECT_STREQ(schedPolicyName(SchedPolicy::Static), "static");
+  EXPECT_STREQ(schedPolicyName(SchedPolicy::Chunked), "chunked");
+  EXPECT_STREQ(schedPolicyName(SchedPolicy::Stealing), "stealing");
+  EXPECT_EXIT(parseSchedPolicy("bogus"), ::testing::ExitedWithCode(2),
+              "unknown sched policy");
+}
+
+TEST(SchedKernels, ParseTaskSystemKindRejectsUnknownNames) {
+  EXPECT_EQ(parseTaskSystemKind("pool"), TaskSystemKind::Pool);
+  EXPECT_EXIT(parseTaskSystemKind("bogus"), ::testing::ExitedWithCode(2),
+              "unknown task system");
+}
+
+} // namespace
