@@ -19,6 +19,8 @@
 ///   --sched=S   static|chunked|stealing work distribution (default static)
 ///   --chunk=N   chunk size for chunked/stealing (default 1024)
 ///   --guided=1  guided self-scheduling decay for chunked
+///   --update=S  atomic|combined|privatized|blocked update engine policy
+///               (default atomic)
 ///   --verify=0  skip output verification for faster sweeps
 ///
 /// or the equivalent EGACS_* environment variables.
@@ -63,6 +65,7 @@ struct BenchEnv {
   SchedPolicy Sched;
   std::int64_t ChunkSize;
   bool Guided;
+  UpdatePolicy Update;
   bool Verify;
 
   BenchEnv(int Argc, char **Argv)
@@ -75,6 +78,7 @@ struct BenchEnv {
         Sched(parseSchedPolicy(Opts.getString("sched", "static"))),
         ChunkSize(Opts.getInt("chunk", 1024)),
         Guided(Opts.getBool("guided", false)),
+        Update(parseUpdatePolicy(Opts.getString("update", "atomic"))),
         Verify(Opts.getBool("verify", true)) {
     if (NumTasks < 1)
       NumTasks = 1;
@@ -87,11 +91,12 @@ struct BenchEnv {
     return makeTaskSystem(TsKind, Workers < 0 ? NumTasks : Workers);
   }
 
-  /// Applies the work-distribution knobs to a kernel config.
+  /// Applies the work-distribution and update-engine knobs to a config.
   void applySched(KernelConfig &Cfg) const {
     Cfg.Sched = Sched;
     Cfg.ChunkSize = ChunkSize;
     Cfg.GuidedChunks = Guided;
+    Cfg.Update = Update;
   }
 };
 

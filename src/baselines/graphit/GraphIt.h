@@ -144,8 +144,13 @@ Frontier edgesetApply(const GraphItContext &Ctx, const Csr &G, const Csr &GT,
               if (!In.test(S))
                 continue;
               if (F.update(S, D, E)) {
-                Out.mutableBits()[static_cast<std::size_t>(D) >> 6] |=
-                    1ull << (static_cast<unsigned>(D) & 63);
+                // Neighbouring tasks' node blocks can share a 64-bit word,
+                // so a plain |= would race (and lose bits) at the block
+                // boundary words; fetch_or keeps the set lossless.
+                __atomic_fetch_or(
+                    &Out.mutableBits()[static_cast<std::size_t>(D) >> 6],
+                    1ull << (static_cast<unsigned>(D) & 63),
+                    __ATOMIC_RELAXED);
                 ++Found;
               }
               if (!F.cond(D))

@@ -239,15 +239,22 @@ std::vector<std::int32_t> egacs::scalar::scalarMis(const ScalarContext &Ctx,
             NodeId U = Undecided[static_cast<std::size_t>(I)];
             bool Blocked = false;
             for (NodeId V : G.neighbors(U)) {
+              // Peer tasks store MisIn into State concurrently; whichever
+              // value the relaxed load observes (MisUndecided or MisIn) is
+              // != MisOut, so the decision is unchanged -- the atomics only
+              // make the racy-by-design Luby round well-defined (and
+              // TSan-clean) at zero cost (plain mov on x86).
               if (V != U &&
-                  State[static_cast<std::size_t>(V)] != MisOut &&
+                  __atomic_load_n(&State[static_cast<std::size_t>(V)],
+                                  __ATOMIC_RELAXED) != MisOut &&
                   Beats(V, U)) {
                 Blocked = true;
                 break;
               }
             }
             if (!Blocked)
-              State[static_cast<std::size_t>(U)] = MisIn;
+              __atomic_store_n(&State[static_cast<std::size_t>(U)], MisIn,
+                               __ATOMIC_RELAXED);
           }
         });
     parallelForBlocked(
@@ -256,16 +263,25 @@ std::vector<std::int32_t> egacs::scalar::scalarMis(const ScalarContext &Ctx,
           std::vector<NodeId> &Out = Next.buffer(TaskIdx);
           for (std::int64_t I = Begin; I < End; ++I) {
             NodeId U = Undecided[static_cast<std::size_t>(I)];
-            std::int32_t &S = State[static_cast<std::size_t>(U)];
-            if (S != MisUndecided)
+            // Only this task writes State[U] this phase, but peers read it
+            // as a neighbor while this task reads their nodes, so the
+            // shared accesses go through relaxed atomics. A stale read
+            // (MisUndecided instead of MisOut) is harmless: neither value
+            // equals MisIn.
+            if (State[static_cast<std::size_t>(U)] != MisUndecided)
               continue;
+            bool Excluded = false;
             for (NodeId V : G.neighbors(U)) {
-              if (State[static_cast<std::size_t>(V)] == MisIn) {
-                S = MisOut;
+              if (__atomic_load_n(&State[static_cast<std::size_t>(V)],
+                                  __ATOMIC_RELAXED) == MisIn) {
+                Excluded = true;
                 break;
               }
             }
-            if (S == MisUndecided)
+            if (Excluded)
+              __atomic_store_n(&State[static_cast<std::size_t>(U)], MisOut,
+                               __ATOMIC_RELAXED);
+            else
               Out.push_back(U);
           }
         });
@@ -342,9 +358,15 @@ void egacs::scalar::scalarMst(const ScalarContext &Ctx, const Csr &G,
   constexpr std::int64_t NoEdge = std::numeric_limits<std::int64_t>::max();
   std::vector<std::int64_t> Best(static_cast<std::size_t>(N), NoEdge);
 
+  // Root chases run concurrently with other tasks' hook CASes and
+  // compression stores, so Parent reads go through relaxed atomic loads
+  // (plain mov on x86) to keep the racy-by-design Boruvka rounds
+  // well-defined under the C++ memory model and TSan.
   auto Root = [&](NodeId X) {
-    while (Parent[static_cast<std::size_t>(X)] != X)
-      X = Parent[static_cast<std::size_t>(X)];
+    NodeId P;
+    while ((P = simd::atomicLoadGlobal(
+                &Parent[static_cast<std::size_t>(X)])) != X)
+      X = P;
     return X;
   };
 
@@ -383,7 +405,7 @@ void egacs::scalar::scalarMst(const ScalarContext &Ctx, const Csr &G,
           for (std::int64_t C = Begin; C < End; ++C) {
             std::int64_t Packed = Best[static_cast<std::size_t>(C)];
             if (Packed == NoEdge ||
-                Parent[static_cast<std::size_t>(C)] !=
+                simd::atomicLoadGlobal(&Parent[static_cast<std::size_t>(C)]) !=
                     static_cast<NodeId>(C))
               continue;
             EdgeId E = static_cast<EdgeId>(Packed & 0xffffffffll);
@@ -414,7 +436,9 @@ void egacs::scalar::scalarMst(const ScalarContext &Ctx, const Csr &G,
                        [&](std::int64_t Begin, std::int64_t End, int) {
                          for (std::int64_t I = Begin; I < End; ++I) {
                            NodeId R = Root(static_cast<NodeId>(I));
-                           Parent[static_cast<std::size_t>(I)] = R;
+                           __atomic_store_n(
+                               &Parent[static_cast<std::size_t>(I)], R,
+                               __ATOMIC_RELAXED);
                          }
                        });
   }

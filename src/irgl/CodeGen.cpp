@@ -104,7 +104,11 @@ public:
       return;
     }
     case Stmt::Kind::AtomicMin:
-      line("VMask<BK> M_" + S.WonVar + " = atomicMinVector<BK>(State." +
+      // Relaxations go through the update engine: Cfg.Update == Atomic
+      // keeps the per-lane CAS loop, other policies pre-reduce
+      // same-destination lanes in registers (sched/UpdateEngine.h).
+      line("VMask<BK> M_" + S.WonVar + " = updateMinVector<BK>(Cfg.Update, "
+           "State." +
            S.Array + ", " + expr(*S.Index, Mask) + ", " +
            expr(*S.Value, Mask) + ", " + Mask + ");");
       if (Topology) {

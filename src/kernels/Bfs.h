@@ -47,7 +47,7 @@ void bfsSparseRound(const KernelConfig &Cfg, LoopScheduler &Sched,
   LocalPushBuffer *Local = FiberLevelCc && Cfg.Fibers ? &TL.Local : nullptr;
   VInt<BK> Next = splat<BK>(NextLevel);
   auto OnEdge = [&](VInt<BK>, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
-    VMask<BK> Won = atomicMinVector<BK>(Dist, Dst, Next, EAct);
+    VMask<BK> Won = updateMinVector<BK>(Cfg.Update, Dist, Dst, Next, EAct);
     if (any(Won))
       pushFrontier<BK>(Cfg, Out, Local, Dst, Won);
   };
@@ -155,7 +155,8 @@ std::vector<std::int32_t> bfsTp(const Csr &G, const KernelConfig &Cfg,
         VInt<BK> Cur = splat<BK>(Level);
         VInt<BK> Next = splat<BK>(Level + 1);
         auto OnEdge = [&](VInt<BK>, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
-          VMask<BK> Won = atomicMinVector<BK>(Dist.data(), Dst, Next, EAct);
+          VMask<BK> Won =
+              updateMinVector<BK>(Cfg.Update, Dist.data(), Dst, Next, EAct);
           LocalWins += popcount(Won);
         };
         forEachNodeSlice<BK>(
@@ -217,7 +218,8 @@ std::vector<std::int32_t> bfsHb(const Csr &G, const KernelConfig &Cfg,
         VInt<BK> Cur = splat<BK>(Level);
         VInt<BK> Next = splat<BK>(Level + 1);
         auto OnEdge = [&](VInt<BK>, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
-          VMask<BK> Won = atomicMinVector<BK>(Dist.data(), Dst, Next, EAct);
+          VMask<BK> Won =
+              updateMinVector<BK>(Cfg.Update, Dist.data(), Dst, Next, EAct);
           if (any(Won))
             pushFrontier<BK>(Cfg, WL.out(), Local, Dst, Won);
         };

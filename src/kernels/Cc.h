@@ -51,7 +51,11 @@ std::vector<std::int32_t> connectedComponents(const Csr &G,
         auto OnEdge = [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>,
                           VMask<BK> EAct) {
           VInt<BK> Label = gather<BK>(Comp.data(), Src, EAct);
-          VMask<BK> Won = atomicMinVector<BK>(Comp.data(), Dst, Label, EAct);
+          // Label hooking through the update engine: non-Atomic policies
+          // pre-reduce same-destination lanes so each distinct destination
+          // costs one CAS chain (and is pushed at most once per vector).
+          VMask<BK> Won =
+              updateMinVector<BK>(Cfg.Update, Comp.data(), Dst, Label, EAct);
           if (any(Won))
             pushFrontier<BK>(Cfg, WL.out(), nullptr, Dst, Won);
         };

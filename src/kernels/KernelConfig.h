@@ -19,6 +19,7 @@
 #define EGACS_KERNELS_KERNELCONFIG_H
 
 #include "runtime/TaskSystem.h"
+#include "sched/UpdateEngine.h"
 #include "sched/WorkStealing.h"
 
 #include <cstdint>
@@ -65,6 +66,18 @@ struct KernelConfig {
   /// Record per-task busy time and per-episode critical path into the
   /// Sched* counters (small per-episode clock_gettime overhead).
   bool SchedInstrument = false;
+
+  // --- Update engine (contention of irregular scatters) ------------------
+  /// How the scatter-heavy kernels issue their irregular read-modify-write
+  /// updates: per-lane hardware Atomics (baseline), in-vector conflict
+  /// Combining, Privatized per-task accumulators, or propagation-Blocked
+  /// binning (sched/UpdateEngine.h). Atomic keeps the exact pre-engine
+  /// code path.
+  UpdatePolicy Update = UpdatePolicy::Atomic;
+  /// Width (in destination slots, rounded up to a power of two) of one
+  /// propagation-blocking bin. 16K float slots = 64 KiB, comfortably
+  /// cache-resident during the merge pass.
+  std::int64_t UpdateBlockNodes = 1 << 14;
 
   // --- Ablation knobs (defaults match the paper's choices) ---------------
   /// Cap on the dynamic fiber-count formula (paper: 256, set empirically).

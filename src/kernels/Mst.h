@@ -92,16 +92,36 @@ MstResult boruvkaMst(const Csr &G, const KernelConfig &Cfg) {
         continue;
       VInt<BK> W = maskedLoad<BK>(G.edgeWeight() + EBase, Cross);
       std::uint64_t Bits = maskBits(Cross);
-      while (Bits) {
-        int L = __builtin_ctzll(Bits);
-        Bits &= Bits - 1;
-        std::int64_t Packed =
-            (static_cast<std::int64_t>(extract(W, L)) << 32) |
-            static_cast<std::int64_t>(EBase + L);
-        atomicMinGlobal64(&Best[static_cast<std::size_t>(extract(Cu, L))],
-                          Packed);
-        atomicMinGlobal64(&Best[static_cast<std::size_t>(extract(Cv, L))],
-                          Packed);
+      if (Cfg.Update == UpdatePolicy::Atomic) {
+        while (Bits) {
+          int L = __builtin_ctzll(Bits);
+          Bits &= Bits - 1;
+          std::int64_t Packed =
+              (static_cast<std::int64_t>(extract(W, L)) << 32) |
+              static_cast<std::int64_t>(EBase + L);
+          atomicMinGlobal64(&Best[static_cast<std::size_t>(extract(Cu, L))],
+                            Packed);
+          atomicMinGlobal64(&Best[static_cast<std::size_t>(extract(Cv, L))],
+                            Packed);
+        }
+      } else {
+        // Conflict-combined: within the vector, edges of the same
+        // component pre-reduce to their lightest packed key so each
+        // distinct component costs one 64-bit CAS chain per side. Hub
+        // components (most of a power-law graph's edges) combine heavily.
+        alignas(64) std::int32_t CuA[BK::Width], CvA[BK::Width];
+        std::int64_t PackedA[BK::Width];
+        BK::store(CuA, Cu.V);
+        BK::store(CvA, Cv.V);
+        std::uint64_t Tmp = Bits;
+        while (Tmp) {
+          int L = __builtin_ctzll(Tmp);
+          Tmp &= Tmp - 1;
+          PackedA[L] = (static_cast<std::int64_t>(extract(W, L)) << 32) |
+                       static_cast<std::int64_t>(EBase + L);
+        }
+        updateMin64Combined(Best.data(), CuA, PackedA, Bits);
+        updateMin64Combined(Best.data(), CvA, PackedA, Bits);
       }
     }
     });
@@ -118,14 +138,19 @@ MstResult boruvkaMst(const Csr &G, const KernelConfig &Cfg) {
       std::int64_t Packed = Best[static_cast<std::size_t>(C)];
       if (Packed == NoEdge)
         continue;
-      if (Parent[static_cast<std::size_t>(C)] != static_cast<NodeId>(C))
+      // Other tasks' hooks CAS Parent concurrently with these reads, so go
+      // through relaxed atomic loads (same x86 code, race-free semantics).
+      if (atomicLoadGlobal(&Parent[static_cast<std::size_t>(C)]) !=
+          static_cast<NodeId>(C))
         continue; // no longer a root (stale entry)
       EdgeId E = static_cast<EdgeId>(Packed & 0xffffffffll);
       Weight W = static_cast<Weight>(Packed >> 32);
       // Recompute the roots of the edge endpoints serially.
       auto Root = [&](NodeId X) {
-        while (Parent[static_cast<std::size_t>(X)] != X)
-          X = Parent[static_cast<std::size_t>(X)];
+        NodeId P;
+        while ((P = atomicLoadGlobal(&Parent[static_cast<std::size_t>(X)])) !=
+               X)
+          X = P;
         return X;
       };
       NodeId Cu = Root(EdgeSrc[static_cast<std::size_t>(E)]);

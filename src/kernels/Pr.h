@@ -12,6 +12,12 @@
 /// applies damping and measures the residual. Iterates to a tolerance with
 /// a fixed upper bound on rounds.
 ///
+/// The contribution scatter goes through the update engine
+/// (Cfg.Update, sched/UpdateEngine.h): Atomic keeps the pre-engine per-lane
+/// CAS loop, Combined pre-reduces same-destination lanes in registers, and
+/// Privatized/Blocked stage contributions CAS-free and apply them in a
+/// dedicated merge phase inserted between the push and apply phases.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EGACS_KERNELS_PR_H
@@ -40,6 +46,8 @@ std::vector<float> pageRank(const Csr &G, const KernelConfig &Cfg,
 
   auto Locals = makeTaskLocals(Cfg);
   auto Sched = makeLoopScheduler(Cfg, N);
+  FloatAccumEngine Eng(Cfg.Update, N, Cfg.NumTasks, Cfg.UpdateBlockNodes,
+                       Cfg.SchedInstrument);
   // Max residual of the current round, stored as float bits (non-negative
   // floats compare correctly as int32).
   std::int32_t MaxDiffBits = 0;
@@ -63,18 +71,39 @@ std::vector<float> pageRank(const Csr &G, const KernelConfig &Cfg,
         });
   };
 
-  // Phase 2: push contributions along edges (atomic CAS float adds).
-  TaskFn PushContrib = [&](int TaskIdx, int TaskCount) {
+  // Phase 2: push contributions along edges through the update engine.
+  // The edge sweep is generic over the edge functor so the Atomic policy
+  // keeps the exact pre-engine inner loop (no per-vector policy dispatch).
+  auto PushSweep = [&](int TaskIdx, int TaskCount, auto &&OnEdge) {
     TaskLocal &TL = *Locals[TaskIdx];
-    auto OnEdge = [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
-      VFloat<BK> C = gatherF<BK>(Contrib.data(), Src, EAct);
-      atomicAddVectorF<BK>(Accum.data(), Dst, C, EAct);
-    };
     forEachNodeSlice<BK>(*Sched, N, TaskIdx, TaskCount,
                          [&](VInt<BK> Node, VMask<BK> Act) {
                            visitEdges<BK>(Cfg, G, Node, Act, TL.Np, OnEdge);
                          });
     flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
+  };
+  TaskFn PushContrib = [&](int TaskIdx, int TaskCount) {
+    std::uint64_t T0 = Eng.scatterStart();
+    if (Cfg.Update == UpdatePolicy::Atomic)
+      PushSweep(TaskIdx, TaskCount,
+                [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
+                  VFloat<BK> C = gatherF<BK>(Contrib.data(), Src, EAct);
+                  atomicAddVectorF<BK>(Accum.data(), Dst, C, EAct);
+                });
+    else
+      PushSweep(TaskIdx, TaskCount,
+                [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
+                  VFloat<BK> C = gatherF<BK>(Contrib.data(), Src, EAct);
+                  Eng.add<BK>(Accum.data(), TaskIdx, Dst, C, EAct);
+                });
+    Eng.scatterFinish(T0);
+  };
+
+  // Privatized/Blocked only: apply the staged contributions to Accum in a
+  // dedicated barrier phase (each slot/bin is dispatched to exactly one
+  // task, so the applies are plain writes).
+  TaskFn MergeStaged = [&](int TaskIdx, int TaskCount) {
+    Eng.merge(Accum.data(), *Sched, TaskIdx, TaskCount);
   };
 
   // Phase 3: apply damping, measure residual, reset accumulators.
@@ -102,8 +131,11 @@ std::vector<float> pageRank(const Csr &G, const KernelConfig &Cfg,
     atomicMaxGlobal(&MaxDiffBits, Bits);
   };
 
-  runPipe(Cfg,
-          std::vector<TaskFn>{ComputeContrib, PushContrib, ApplyAndResidual},
+  std::vector<TaskFn> Phases{ComputeContrib, PushContrib};
+  if (Eng.needsMerge())
+    Phases.push_back(MergeStaged);
+  Phases.push_back(ApplyAndResidual);
+  runPipe(Cfg, Phases,
           [&] {
             float MaxDiff;
             std::memcpy(&MaxDiff, &MaxDiffBits, sizeof(MaxDiff));

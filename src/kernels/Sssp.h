@@ -60,7 +60,13 @@ std::vector<std::int32_t> ssspNf(const Csr &G, const KernelConfig &Cfg,
           VInt<BK> Du = gather<BK>(Dist.data(), Src, EAct);
           VInt<BK> W = gather<BK>(G.edgeWeight(), EIdx, EAct);
           VInt<BK> Cand = Du + W;
-          VMask<BK> Won = atomicMinVector<BK>(Dist.data(), Dst, Cand, EAct);
+          // Relaxation through the update engine. The combined variant
+          // marks the lane holding the *minimum* candidate as the winner,
+          // so the near/far classification below reads the value actually
+          // written to Dist (a leader-lane mask could misfile a node into
+          // Far and lose it at the next threshold advance).
+          VMask<BK> Won =
+              updateMinVector<BK>(Cfg.Update, Dist.data(), Dst, Cand, EAct);
           if (!any(Won))
             return;
           VMask<BK> ToNear = Won & (Cand < Thresh);

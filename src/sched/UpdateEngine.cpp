@@ -1,0 +1,43 @@
+//===- sched/UpdateEngine.cpp - Contention-aware update engine ------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/UpdateEngine.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace egacs;
+
+const char *egacs::updatePolicyName(UpdatePolicy P) {
+  switch (P) {
+  case UpdatePolicy::Atomic:
+    return "atomic";
+  case UpdatePolicy::Combined:
+    return "combined";
+  case UpdatePolicy::Privatized:
+    return "privatized";
+  case UpdatePolicy::Blocked:
+    return "blocked";
+  }
+  return "<invalid>";
+}
+
+UpdatePolicy egacs::parseUpdatePolicy(const std::string &Name) {
+  if (Name == "atomic")
+    return UpdatePolicy::Atomic;
+  if (Name == "combined")
+    return UpdatePolicy::Combined;
+  if (Name == "privatized")
+    return UpdatePolicy::Privatized;
+  if (Name == "blocked")
+    return UpdatePolicy::Blocked;
+  std::fprintf(stderr,
+               "error: unknown update policy '%s' (expected "
+               "atomic|combined|privatized|blocked)\n",
+               Name.c_str());
+  std::exit(2);
+}

@@ -168,6 +168,17 @@ struct Avx512Backend {
   static VInt compact(VInt V, Mask M) {
     return _mm512_maskz_compress_epi32(M, V);
   }
+
+  /// vpconflictd: Out[L] is a bitmask of earlier lanes (E < L) holding the
+  /// same 32-bit index as lane L. Picked up by the SFINAE dispatch in
+  /// simd/Atomics.h to accelerate in-vector conflict combining.
+  static void conflictEarlier(VInt Idx, std::uint32_t *Out) {
+    alignas(64) std::int32_t Tmp[16];
+    _mm512_store_si512(reinterpret_cast<__m512i *>(Tmp),
+                       _mm512_conflict_epi32(Idx));
+    for (int L = 0; L < 16; ++L)
+      Out[L] = static_cast<std::uint32_t>(Tmp[L]);
+  }
 };
 
 /// 8-wide AVX512VL backend on ymm registers (ISPC target avx512skx-i32x8).
@@ -307,6 +318,15 @@ struct Avx512HalfBackend {
 
   static VInt compact(VInt V, Mask M) {
     return _mm256_maskz_compress_epi32(M, V);
+  }
+
+  /// vpconflictd (VL form): see Avx512Backend::conflictEarlier.
+  static void conflictEarlier(VInt Idx, std::uint32_t *Out) {
+    alignas(32) std::int32_t Tmp[8];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(Tmp),
+                       _mm256_conflict_epi32(Idx));
+    for (int L = 0; L < 8; ++L)
+      Out[L] = static_cast<std::uint32_t>(Tmp[L]);
   }
 };
 

@@ -51,6 +51,18 @@ const char *egacs::statName(Stat S) {
     return "sched-critical-nanos";
   case Stat::SchedEpisodes:
     return "sched-episodes";
+  case Stat::CasAttempts:
+    return "cas-attempts";
+  case Stat::CasFailures:
+    return "cas-failures";
+  case Stat::CombinedLanesSaved:
+    return "combined-lanes-saved";
+  case Stat::UpdatePairsBinned:
+    return "update-pairs-binned";
+  case Stat::UpdateScatterCritNanos:
+    return "update-scatter-crit-nanos";
+  case Stat::UpdateMergeCritNanos:
+    return "update-merge-crit-nanos";
   case Stat::NumStats:
     break;
   }

@@ -56,6 +56,24 @@ enum class Stat : unsigned {
   SchedCriticalNanos,
   /// Scheduled-loop episodes measured by the instrumentation.
   SchedEpisodes,
+  /// Hardware compare-exchange operations issued by the CAS loops in
+  /// simd/Atomics.h (min/max/float-add relaxations).
+  CasAttempts,
+  /// Compare-exchange operations that failed (lost a race or spurious
+  /// weak-CAS failure) and had to retry.
+  CasFailures,
+  /// Lanes folded into a same-destination neighbour by in-vector conflict
+  /// combining (each saved lane is one hardware atomic not issued).
+  CombinedLanesSaved,
+  /// (dst, contribution) pairs staged into destination-range bins by the
+  /// propagation-blocked update engine.
+  UpdatePairsBinned,
+  /// Sum over scatter-phase episodes of the slowest task's CPU time in the
+  /// update engine's scatter phase (instrumented runs).
+  UpdateScatterCritNanos,
+  /// Sum over merge-phase episodes of the slowest task's CPU time in the
+  /// update engine's merge/apply phase (instrumented runs).
+  UpdateMergeCritNanos,
   NumStats
 };
 

@@ -146,7 +146,8 @@ TEST(IrglCodeGen, SsspLoadsWeightsThroughGathers) {
 TEST(IrglCodeGen, AtomicMinBindsWonMask) {
   Program P = buildBfsProgram();
   std::string Cpp = emitCpp(P);
-  EXPECT_TRUE(contains(Cpp, "VMask<BK> M_won = atomicMinVector<BK>"));
+  EXPECT_TRUE(
+      contains(Cpp, "VMask<BK> M_won = updateMinVector<BK>(Cfg.Update"));
   EXPECT_TRUE(contains(Cpp, "& M_won;"));
 }
 
@@ -195,10 +196,14 @@ int main() {
            << "}\n";
   }
 
-  std::string Compile = std::string("g++ -std=c++20 -O1 -I ") +
-                        EGACS_SRC_DIR + " " + DriverPath + " " +
-                        EGACS_LIB_PATH + " -lpthread -o " + BinPath +
-                        " 2> " + Dir + "/egacs_gen_" + TestName + ".log";
+#ifndef EGACS_GEN_SANITIZE_FLAG
+#define EGACS_GEN_SANITIZE_FLAG ""
+#endif
+  std::string Compile = std::string("g++ -std=c++20 -O1 ") +
+                        EGACS_GEN_SANITIZE_FLAG + " -I " + EGACS_SRC_DIR +
+                        " " + DriverPath + " " + EGACS_LIB_PATH +
+                        " -lpthread -o " + BinPath + " 2> " + Dir +
+                        "/egacs_gen_" + TestName + ".log";
   int CompileRc = std::system(Compile.c_str());
   ASSERT_EQ(CompileRc, 0) << "generated code failed to compile; see " << Dir
                           << "/egacs_gen_" << TestName << ".log";

@@ -74,14 +74,24 @@ TEST(OpsWrappers, MaskAlgebraOperators) {
 }
 
 TEST(OpsWrappers, SelectAndMinMax) {
+  // GCC 12 with -O2+ and -mavx512f miscompiles fully-constant 8 x i32
+  // value construction in this test (SLP-vectorized into a broadcast of
+  // the first element; which expression gets hit is stack-layout
+  // dependent). Two defenses: expected values live in static .rodata
+  // arrays instead of brace-literal vectors, and the splat seeds are
+  // volatile so the compare/select chain cannot be constant-folded.
+  volatile std::int32_t FourV = 4, OneV = 1, ZeroV = 0;
   VInt<BK> A = programIndex<BK>();
-  VInt<BK> B = splat<BK>(4);
+  VInt<BK> B = splat<BK>(FourV);
+  static const std::int32_t ExpMin[8] = {0, 1, 2, 3, 4, 4, 4, 4};
+  static const std::int32_t ExpMax[8] = {4, 4, 4, 4, 4, 5, 6, 7};
+  static const std::int32_t ExpSel[8] = {1, 1, 1, 1, 0, 0, 0, 0};
   EXPECT_EQ(lanes(vmin<BK>(A, B)),
-            (std::vector<std::int32_t>{0, 1, 2, 3, 4, 4, 4, 4}));
+            std::vector<std::int32_t>(ExpMin, ExpMin + 8));
   EXPECT_EQ(lanes(vmax<BK>(A, B)),
-            (std::vector<std::int32_t>{4, 4, 4, 4, 4, 5, 6, 7}));
-  EXPECT_EQ(lanes(select<BK>(A < B, splat<BK>(1), splat<BK>(0))),
-            (std::vector<std::int32_t>{1, 1, 1, 1, 0, 0, 0, 0}));
+            std::vector<std::int32_t>(ExpMax, ExpMax + 8));
+  EXPECT_EQ(lanes(select<BK>(A < B, splat<BK>(OneV), splat<BK>(ZeroV))),
+            std::vector<std::int32_t>(ExpSel, ExpSel + 8));
 }
 
 TEST(OpsWrappers, FloatOperators) {
