@@ -21,6 +21,9 @@
 ///   --guided=1  guided self-scheduling decay for chunked
 ///   --update=S  atomic|combined|privatized|blocked update engine policy
 ///               (default atomic)
+///   --layout=S  csr|hubcsr|sell graph layout the kernels consume
+///               (default csr)
+///   --sigma=N   SELL-C-sigma sorting window in nodes (default 4096)
 ///   --verify=0  skip output verification for faster sweeps
 ///
 /// or the equivalent EGACS_* environment variables.
@@ -66,6 +69,8 @@ struct BenchEnv {
   std::int64_t ChunkSize;
   bool Guided;
   UpdatePolicy Update;
+  LayoutKind Layout;
+  std::int32_t SellSigma;
   bool Verify;
 
   BenchEnv(int Argc, char **Argv)
@@ -79,11 +84,15 @@ struct BenchEnv {
         ChunkSize(Opts.getInt("chunk", 1024)),
         Guided(Opts.getBool("guided", false)),
         Update(parseUpdatePolicy(Opts.getString("update", "atomic"))),
+        Layout(parseLayoutKind(Opts.getString("layout", "csr"))),
+        SellSigma(static_cast<std::int32_t>(Opts.getInt("sigma", 1 << 12))),
         Verify(Opts.getBool("verify", true)) {
     if (NumTasks < 1)
       NumTasks = 1;
     if (ChunkSize < 1)
       ChunkSize = 1;
+    if (SellSigma < 1)
+      SellSigma = 1;
   }
 
   /// Builds the configured task system.
@@ -91,12 +100,16 @@ struct BenchEnv {
     return makeTaskSystem(TsKind, Workers < 0 ? NumTasks : Workers);
   }
 
-  /// Applies the work-distribution and update-engine knobs to a config.
+  /// Applies the work-distribution, update-engine and layout knobs to a
+  /// config. runKernel over a bare Csr honours Cfg.Layout by building the
+  /// requested view on the fly.
   void applySched(KernelConfig &Cfg) const {
     Cfg.Sched = Sched;
     Cfg.ChunkSize = ChunkSize;
     Cfg.GuidedChunks = Guided;
     Cfg.Update = Update;
+    Cfg.Layout = Layout;
+    Cfg.SellSigma = SellSigma;
   }
 };
 

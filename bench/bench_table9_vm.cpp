@@ -39,21 +39,26 @@ int main(int Argc, char **Argv) {
   // UVM collapse).
   int Side = 320 << (Env.Scale > 3 ? (Env.Scale - 3) / 2 : 0);
   Csr G = shuffleNodeIds(roadGraph(Side, Side, 0.05, 21), 22);
+  // --layout=csr|hubcsr|sell: topology sweeps are traced through the
+  // layout's real storage addresses, and the footprint includes the
+  // layout's auxiliary arrays.
+  LayoutKind LK = parseLayoutKind(Env.Opts.getString("layout", "csr"));
+  AnyLayout Layout = AnyLayout::build(LK, G);
   std::printf("graph: %d nodes, %d arcs (road class, shuffled ids, "
-              "OSM-EUR stand-in)\n\n",
-              G.numNodes(), G.numEdges());
+              "OSM-EUR stand-in), layout=%s\n\n",
+              G.numNodes(), G.numEdges(), layoutName(LK));
 
   Table T({"app", "footprint MB", "GPU 75%", "GPU 50%", "CPU 75%",
            "CPU 50%"});
   const char *Apps[] = {"bfs-wl", "cc", "tri", "sssp", "mis", "pr", "mst"};
   for (const char *App : Apps) {
-    std::uint64_t Footprint = appFootprintBytes(App, G);
+    std::uint64_t Footprint = appFootprintBytes(App, Layout);
     auto Run = [&](bool Gpu, double Fraction) {
       std::uint64_t Resident =
           static_cast<std::uint64_t>(Fraction * Footprint);
       PagingSim Sim(Gpu ? PagingConfig::gpuUvm(Resident)
                         : PagingConfig::cpu(Resident));
-      traceApp(App, G, 0, Sim);
+      traceApp(App, Layout, 0, Sim);
       return Sim.slowdown();
     };
     T.addRow({App, Table::fmt(Footprint / (1024.0 * 1024.0), 1),

@@ -10,6 +10,7 @@
 //
 //   $ ./irgl_codegen [--program=bfs|bfstp|cc|sssp] [--io=0] [--np=0] [--cc=0]
 //                    [--fibers=0] [--emit=irgl|cpp|both]
+//                    [--layout=csr|hubcsr|sell]
 //
 //===----------------------------------------------------------------------===//
 
@@ -45,8 +46,10 @@ int main(int Argc, char **Argv) {
                 dumpProgram(P).c_str());
   }
   if (Emit == "cpp" || Emit == "both") {
+    CodeGenOptions CG;
+    CG.Layout = parseLayoutKind(Opts.getString("layout", "csr"));
     std::printf("// ---- generated SPMD C++ ----\n%s",
-                emitCpp(P).c_str());
+                emitCpp(P, CG).c_str());
   }
   return 0;
 }

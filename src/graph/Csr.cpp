@@ -10,6 +10,9 @@
 #include "support/PrefixSum.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 using namespace egacs;
 
@@ -25,13 +28,8 @@ Csr::Csr(NodeId NumNodes, AlignedBuffer<EdgeId> RowStart,
   assert((Weights.empty() ||
           Weights.size() >= static_cast<std::size_t>(EdgeCount)) &&
          "weight array too small");
-}
-
-EdgeId Csr::maxDegree() const {
-  EdgeId Max = 0;
   for (NodeId N = 0; N < NodeCount; ++N)
-    Max = std::max(Max, degree(N));
-  return Max;
+    MaxDeg = std::max(MaxDeg, degree(N));
 }
 
 Csr Csr::transpose() const {
@@ -103,9 +101,28 @@ std::size_t Csr::memoryFootprintBytes() const {
   return Bytes;
 }
 
+bool egacs::csrEdgeCountValid(std::size_t Count) {
+  // EdgeId is int32_t; RowStart[NumNodes] must hold the edge count, so the
+  // largest representable graph has 2^31 - 1 edges.
+  return Count <= static_cast<std::size_t>(
+                      std::numeric_limits<EdgeId>::max());
+}
+
 Csr egacs::buildCsr(NodeId NumNodes, std::vector<RawEdge> Edges,
                     const BuildOptions &Opts) {
   assert(NumNodes >= 0 && "negative node count");
+  // Symmetrization at most doubles the edge count; validate the worst case
+  // up front so the reserve below cannot already overflow EdgeId math.
+  std::size_t WorstCase = Edges.size() * (Opts.Symmetrize ? 2 : 1);
+  if (!csrEdgeCountValid(WorstCase)) {
+    std::fprintf(stderr,
+                 "error: buildCsr: %zu edges%s exceed the 32-bit EdgeId "
+                 "index space (max %zu); rebuild with 64-bit edge ids or "
+                 "shard the input\n",
+                 Edges.size(), Opts.Symmetrize ? " (after symmetrization)" : "",
+                 static_cast<std::size_t>(std::numeric_limits<EdgeId>::max()));
+    std::exit(2);
+  }
   if (Opts.Symmetrize) {
     std::size_t Original = Edges.size();
     Edges.reserve(Original * 2);

@@ -75,8 +75,10 @@ public:
             static_cast<std::size_t>(degree(N))};
   }
 
-  /// Maximum out-degree over all nodes (0 for an empty graph).
-  EdgeId maxDegree() const;
+  /// Maximum out-degree over all nodes (0 for an empty graph). Computed
+  /// once at construction; callers (NP inspector, fiber sizing, layout
+  /// builders) read it for free.
+  EdgeId maxDegree() const { return MaxDeg; }
 
   /// Returns the transpose (all arcs reversed). Weights follow their arc.
   Csr transpose() const;
@@ -91,6 +93,7 @@ public:
 private:
   NodeId NodeCount = 0;
   EdgeId EdgeCount = 0;
+  EdgeId MaxDeg = 0;
   AlignedBuffer<EdgeId> Rows;
   AlignedBuffer<NodeId> Dsts;
   AlignedBuffer<Weight> Weights;
@@ -113,7 +116,14 @@ struct BuildOptions {
   bool DropSelfLoops = false;
 };
 
-/// Builds a CSR graph from \p Edges over \p NumNodes nodes.
+/// Returns true when \p Count edges fit the 32-bit EdgeId index space
+/// (< 2^31). Factored out so the boundary is unit-testable with a mocked
+/// count without materializing two billion edges.
+bool csrEdgeCountValid(std::size_t Count);
+
+/// Builds a CSR graph from \p Edges over \p NumNodes nodes. Inputs whose
+/// final edge count (after symmetrization) overflows EdgeId are rejected
+/// with a diagnostic on stderr and a failed exit -- never silently wrapped.
 Csr buildCsr(NodeId NumNodes, std::vector<RawEdge> Edges,
              const BuildOptions &Opts = {});
 

@@ -11,12 +11,47 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 using namespace egacs;
+
+namespace {
+
+/// Rejects a generator request up front when its worst-case arc count
+/// (after symmetrization) cannot be indexed by the 32-bit EdgeId, before
+/// any edge is materialized. buildCsr would catch the overflow too, but
+/// only after allocating the full raw edge list.
+void checkGeneratorSize(const char *Generator, std::int64_t NumNodes,
+                        std::uint64_t RequestedArcs) {
+  if (NumNodes > std::numeric_limits<NodeId>::max()) {
+    std::fprintf(stderr,
+                 "error: %s: %lld nodes exceed the 32-bit NodeId space; "
+                 "lower the scale\n",
+                 Generator, static_cast<long long>(NumNodes));
+    std::exit(2);
+  }
+  // Symmetrization at most doubles the requested arcs.
+  if (!csrEdgeCountValid(static_cast<std::size_t>(RequestedArcs) * 2)) {
+    std::fprintf(stderr,
+                 "error: %s: %llu requested arcs (up to %llu after "
+                 "symmetrization) exceed the 32-bit EdgeId index space; "
+                 "lower the scale or edge factor\n",
+                 Generator, static_cast<unsigned long long>(RequestedArcs),
+                 static_cast<unsigned long long>(RequestedArcs * 2));
+    std::exit(2);
+  }
+}
+
+} // namespace
 
 Csr egacs::roadGraph(int Width, int Height, double DiagonalFraction,
                      std::uint64_t Seed) {
   assert(Width > 0 && Height > 0 && "grid must be non-empty");
+  checkGeneratorSize("roadGraph",
+                     static_cast<std::int64_t>(Width) * Height,
+                     static_cast<std::uint64_t>(Width) * Height * 3);
   Xoshiro256 Rng(Seed);
   NodeId NumNodes = static_cast<NodeId>(Width) * Height;
   std::vector<RawEdge> Edges;
@@ -53,6 +88,8 @@ Csr egacs::rmatGraph(int Scale, int EdgeFactor, std::uint64_t Seed, double A,
   Xoshiro256 Rng(Seed);
   NodeId NumNodes = static_cast<NodeId>(1) << Scale;
   std::int64_t NumArcs = static_cast<std::int64_t>(EdgeFactor) * NumNodes;
+  checkGeneratorSize("rmatGraph", NumNodes,
+                     static_cast<std::uint64_t>(NumArcs));
   std::vector<RawEdge> Edges;
   Edges.reserve(static_cast<std::size_t>(NumArcs));
 
@@ -94,6 +131,8 @@ Csr egacs::uniformRandomGraph(NodeId NumNodes, int Degree,
   assert(NumNodes > 1 && "graph must have at least two nodes");
   Xoshiro256 Rng(Seed);
   std::int64_t NumArcs = static_cast<std::int64_t>(Degree) * NumNodes;
+  checkGeneratorSize("uniformRandomGraph", NumNodes,
+                     static_cast<std::uint64_t>(NumArcs));
   std::vector<RawEdge> Edges;
   Edges.reserve(static_cast<std::size_t>(NumArcs));
   for (std::int64_t I = 0; I < NumArcs; ++I) {

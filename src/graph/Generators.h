@@ -17,7 +17,10 @@
 ///    uniformRandomGraph() ("r4-2e23": ~4 out-arcs per node).
 /// Sizes are scaled by the benchmark harness to fit this machine; the class
 /// of graph (degree distribution, diameter) is what the paper's effects
-/// depend on. All generators are deterministic in their seed.
+/// depend on. All generators are deterministic in their seed. Requests
+/// whose node or worst-case arc count would overflow the 32-bit
+/// NodeId/EdgeId index space are rejected up front with a diagnostic
+/// (csrEdgeCountValid) instead of silently wrapping.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -15,22 +15,48 @@
 
 using namespace egacs;
 
+namespace {
+
+/// Prints "error: <path>:<line>: <reason>" on stderr. Line 0 means the
+/// failure is not tied to one line (e.g. the file cannot be opened).
+void parseError(const std::string &Path, long Line, const char *Reason) {
+  if (Line > 0)
+    std::fprintf(stderr, "error: %s:%ld: %s\n", Path.c_str(), Line, Reason);
+  else
+    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Reason);
+}
+
+} // namespace
+
 std::optional<Csr> egacs::loadDimacs(const std::string &Path,
                                      bool Symmetrize) {
   std::FILE *File = std::fopen(Path.c_str(), "r");
-  if (!File)
+  if (!File) {
+    parseError(Path, 0, "cannot open file for reading");
     return std::nullopt;
+  }
 
   NodeId NumNodes = 0;
   std::vector<RawEdge> Edges;
   char Line[256];
   bool SawHeader = false;
+  long LineNo = 0;
   while (std::fgets(Line, sizeof(Line), File)) {
+    ++LineNo;
     if (Line[0] == 'c' || Line[0] == '\n')
       continue;
     if (Line[0] == 'p') {
       long long N = 0, M = 0;
       if (std::sscanf(Line, "p sp %lld %lld", &N, &M) != 2) {
+        parseError(Path, LineNo,
+                   "malformed DIMACS problem line (expected 'p sp <nodes> "
+                   "<arcs>')");
+        std::fclose(File);
+        return std::nullopt;
+      }
+      if (N < 0 || M < 0) {
+        parseError(Path, LineNo,
+                   "negative node or arc count in DIMACS problem line");
         std::fclose(File);
         return std::nullopt;
       }
@@ -42,6 +68,21 @@ std::optional<Csr> egacs::loadDimacs(const std::string &Path,
     if (Line[0] == 'a') {
       long long Src = 0, Dst = 0, W = 0;
       if (std::sscanf(Line, "a %lld %lld %lld", &Src, &Dst, &W) != 3) {
+        parseError(Path, LineNo,
+                   "malformed DIMACS arc line (expected 'a <src> <dst> "
+                   "<weight>')");
+        std::fclose(File);
+        return std::nullopt;
+      }
+      if (!SawHeader) {
+        parseError(Path, LineNo, "arc line before the 'p sp' problem line");
+        std::fclose(File);
+        return std::nullopt;
+      }
+      if (Src < 1 || Dst < 1 || Src > NumNodes || Dst > NumNodes) {
+        parseError(Path, LineNo,
+                   "arc endpoint outside [1, <nodes>] (DIMACS ids are "
+                   "1-based)");
         std::fclose(File);
         return std::nullopt;
       }
@@ -52,8 +93,10 @@ std::optional<Csr> egacs::loadDimacs(const std::string &Path,
     }
   }
   std::fclose(File);
-  if (!SawHeader)
+  if (!SawHeader) {
+    parseError(Path, 0, "missing 'p sp <nodes> <arcs>' problem line");
     return std::nullopt;
+  }
   BuildOptions Opts;
   Opts.Symmetrize = Symmetrize;
   return buildCsr(NumNodes, std::move(Edges), Opts);
@@ -62,18 +105,29 @@ std::optional<Csr> egacs::loadDimacs(const std::string &Path,
 std::optional<Csr> egacs::loadEdgeList(const std::string &Path,
                                        bool Symmetrize) {
   std::FILE *File = std::fopen(Path.c_str(), "r");
-  if (!File)
+  if (!File) {
+    parseError(Path, 0, "cannot open file for reading");
     return std::nullopt;
+  }
 
   std::vector<RawEdge> Edges;
   NodeId MaxNode = -1;
   char Line[256];
+  long LineNo = 0;
   while (std::fgets(Line, sizeof(Line), File)) {
+    ++LineNo;
     if (Line[0] == '#' || Line[0] == '\n')
       continue;
     long long Src = 0, Dst = 0, W = 0;
     int Fields = std::sscanf(Line, "%lld %lld %lld", &Src, &Dst, &W);
     if (Fields < 2) {
+      parseError(Path, LineNo,
+                 "malformed edge line (expected 'src dst [weight]')");
+      std::fclose(File);
+      return std::nullopt;
+    }
+    if (Src < 0 || Dst < 0) {
+      parseError(Path, LineNo, "negative node id (edge-list ids are 0-based)");
       std::fclose(File);
       return std::nullopt;
     }
@@ -88,10 +142,20 @@ std::optional<Csr> egacs::loadEdgeList(const std::string &Path,
   return buildCsr(MaxNode + 1, std::move(Edges), Opts);
 }
 
+//===----------------------------------------------------------------------===//
+// Binary cache (magic "EGCS").
+//
+// v1: header + Rows + Dsts [+ Weights].
+// v2: the v1 payload, then a u32 HasSell flag, then (when set) a SellHeader
+//     and the five SELL arrays. v1 files remain readable; v1 readers reject
+//     v2 by version number rather than misparsing it.
+//===----------------------------------------------------------------------===//
+
 namespace {
 
 constexpr char BinaryMagic[4] = {'E', 'G', 'C', 'S'};
-constexpr std::uint32_t BinaryVersion = 1;
+constexpr std::uint32_t BinaryVersion = 2;
+constexpr std::uint32_t OldBinaryVersion = 1;
 
 struct BinaryHeader {
   char Magic[4];
@@ -101,9 +165,106 @@ struct BinaryHeader {
   std::uint32_t HasWeights;
 };
 
+/// Trailer header describing a stored SELL-C-sigma image (v2 only).
+struct SellHeader {
+  std::int32_t Chunk;
+  std::int32_t Sigma;
+  std::uint64_t OrderLen;    ///< Order and SlotDeg element count.
+  std::uint64_t SliceOffLen; ///< SliceOff element count (numChunks + 1).
+  std::uint64_t StoreLen;    ///< SellDst and SellEdge element count.
+};
+
+template <typename T>
+bool writeArray(std::FILE *File, const T *Data, std::size_t Count) {
+  return Count == 0 || std::fwrite(Data, sizeof(T), Count, File) == Count;
+}
+
+template <typename T>
+bool readArray(std::FILE *File, T *Data, std::size_t Count) {
+  return Count == 0 || std::fread(Data, sizeof(T), Count, File) == Count;
+}
+
+/// Reads and sanity-checks the v2 SELL trailer. Returns false on I/O error
+/// or an inconsistent image (the caller then fails the whole load: a
+/// corrupt trailer means a corrupt file).
+bool readSellImage(std::FILE *File, const BinaryHeader &H,
+                   std::optional<SellImage> &Out) {
+  std::uint32_t HasSell = 0;
+  if (std::fread(&HasSell, sizeof(HasSell), 1, File) != 1)
+    return false;
+  if (!HasSell)
+    return true;
+  SellHeader SH;
+  if (std::fread(&SH, sizeof(SH), 1, File) != 1)
+    return false;
+  constexpr std::uint64_t MaxLen = std::uint64_t{1} << 40;
+  if (SH.Chunk <= 0 || SH.Sigma < SH.Chunk ||
+      SH.OrderLen < static_cast<std::uint64_t>(H.NumNodes) ||
+      SH.OrderLen > MaxLen || SH.SliceOffLen == 0 || SH.SliceOffLen > MaxLen ||
+      SH.StoreLen > MaxLen)
+    return false;
+  SellImage Img;
+  Img.Chunk = SH.Chunk;
+  Img.Sigma = SH.Sigma;
+  Img.Order.allocate(static_cast<std::size_t>(SH.OrderLen));
+  Img.SlotDeg.allocate(static_cast<std::size_t>(SH.OrderLen));
+  Img.SliceOff.allocate(static_cast<std::size_t>(SH.SliceOffLen));
+  Img.SellDst.allocate(static_cast<std::size_t>(SH.StoreLen));
+  Img.SellEdge.allocate(static_cast<std::size_t>(SH.StoreLen));
+  if (!readArray(File, Img.Order.data(), Img.Order.size()) ||
+      !readArray(File, Img.SlotDeg.data(), Img.SlotDeg.size()) ||
+      !readArray(File, Img.SliceOff.data(), Img.SliceOff.size()) ||
+      !readArray(File, Img.SellDst.data(), Img.SellDst.size()) ||
+      !readArray(File, Img.SellEdge.data(), Img.SellEdge.size()))
+    return false;
+  // The last slice offset is the store length the arrays were sized for.
+  if (Img.SliceOff[Img.SliceOff.size() - 1] >
+      static_cast<std::int64_t>(SH.StoreLen))
+    return false;
+  Out.emplace(std::move(Img));
+  return true;
+}
+
+/// Shared v1/v2 loader.
+std::optional<LoadedGraph> loadBinaryImpl(const std::string &Path,
+                                          bool WantSell) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return std::nullopt;
+  BinaryHeader H;
+  if (std::fread(&H, sizeof(H), 1, File) != 1 ||
+      std::memcmp(H.Magic, BinaryMagic, 4) != 0 ||
+      (H.Version != BinaryVersion && H.Version != OldBinaryVersion) ||
+      H.NumNodes < 0 || H.NumEdges < 0) {
+    std::fclose(File);
+    return std::nullopt;
+  }
+  AlignedBuffer<EdgeId> Rows(static_cast<std::size_t>(H.NumNodes) + 1);
+  AlignedBuffer<NodeId> Dsts(static_cast<std::size_t>(H.NumEdges));
+  AlignedBuffer<Weight> Weights;
+  bool Ok = readArray(File, Rows.data(), Rows.size());
+  Ok = Ok && readArray(File, Dsts.data(),
+                       static_cast<std::size_t>(H.NumEdges));
+  if (H.HasWeights) {
+    Weights.allocate(static_cast<std::size_t>(H.NumEdges));
+    Ok = Ok && readArray(File, Weights.data(),
+                         static_cast<std::size_t>(H.NumEdges));
+  }
+  std::optional<SellImage> Sell;
+  if (Ok && WantSell && H.Version >= 2)
+    Ok = readSellImage(File, H, Sell);
+  std::fclose(File);
+  if (!Ok || Rows[static_cast<std::size_t>(H.NumNodes)] != H.NumEdges)
+    return std::nullopt;
+  return LoadedGraph{Csr(H.NumNodes, std::move(Rows), std::move(Dsts),
+                         std::move(Weights)),
+                     std::move(Sell)};
+}
+
 } // namespace
 
-bool egacs::saveBinaryCsr(const Csr &G, const std::string &Path) {
+bool egacs::saveBinaryCsr(const Csr &G, const std::string &Path,
+                          const SellImage *Sell) {
   std::FILE *File = std::fopen(Path.c_str(), "wb");
   if (!File)
     return false;
@@ -114,52 +275,40 @@ bool egacs::saveBinaryCsr(const Csr &G, const std::string &Path) {
   H.NumEdges = G.numEdges();
   H.HasWeights = G.hasWeights();
   bool Ok = std::fwrite(&H, sizeof(H), 1, File) == 1;
-  Ok = Ok && std::fwrite(G.rowStart(), sizeof(EdgeId),
-                         static_cast<std::size_t>(G.numNodes()) + 1,
-                         File) == static_cast<std::size_t>(G.numNodes()) + 1;
-  Ok = Ok && (G.numEdges() == 0 ||
-              std::fwrite(G.edgeDst(), sizeof(NodeId),
-                          static_cast<std::size_t>(G.numEdges()), File) ==
-                  static_cast<std::size_t>(G.numEdges()));
+  Ok = Ok && writeArray(File, G.rowStart(),
+                        static_cast<std::size_t>(G.numNodes()) + 1);
+  Ok = Ok && writeArray(File, G.edgeDst(),
+                        static_cast<std::size_t>(G.numEdges()));
   if (G.hasWeights())
-    Ok = Ok && (G.numEdges() == 0 ||
-                std::fwrite(G.edgeWeight(), sizeof(Weight),
-                            static_cast<std::size_t>(G.numEdges()), File) ==
-                    static_cast<std::size_t>(G.numEdges()));
+    Ok = Ok && writeArray(File, G.edgeWeight(),
+                          static_cast<std::size_t>(G.numEdges()));
+  std::uint32_t HasSell = Sell != nullptr;
+  Ok = Ok && std::fwrite(&HasSell, sizeof(HasSell), 1, File) == 1;
+  if (Sell) {
+    SellHeader SH;
+    SH.Chunk = Sell->Chunk;
+    SH.Sigma = Sell->Sigma;
+    SH.OrderLen = Sell->Order.size();
+    SH.SliceOffLen = Sell->SliceOff.size();
+    SH.StoreLen = Sell->SellDst.size();
+    Ok = Ok && std::fwrite(&SH, sizeof(SH), 1, File) == 1;
+    Ok = Ok && writeArray(File, Sell->Order.data(), Sell->Order.size());
+    Ok = Ok && writeArray(File, Sell->SlotDeg.data(), Sell->SlotDeg.size());
+    Ok = Ok && writeArray(File, Sell->SliceOff.data(), Sell->SliceOff.size());
+    Ok = Ok && writeArray(File, Sell->SellDst.data(), Sell->SellDst.size());
+    Ok = Ok && writeArray(File, Sell->SellEdge.data(), Sell->SellEdge.size());
+  }
   std::fclose(File);
   return Ok;
 }
 
 std::optional<Csr> egacs::loadBinaryCsr(const std::string &Path) {
-  std::FILE *File = std::fopen(Path.c_str(), "rb");
-  if (!File)
+  std::optional<LoadedGraph> Loaded = loadBinaryImpl(Path, false);
+  if (!Loaded)
     return std::nullopt;
-  BinaryHeader H;
-  if (std::fread(&H, sizeof(H), 1, File) != 1 ||
-      std::memcmp(H.Magic, BinaryMagic, 4) != 0 ||
-      H.Version != BinaryVersion || H.NumNodes < 0 || H.NumEdges < 0) {
-    std::fclose(File);
-    return std::nullopt;
-  }
-  AlignedBuffer<EdgeId> Rows(static_cast<std::size_t>(H.NumNodes) + 1);
-  AlignedBuffer<NodeId> Dsts(static_cast<std::size_t>(H.NumEdges));
-  AlignedBuffer<Weight> Weights;
-  bool Ok = std::fread(Rows.data(), sizeof(EdgeId), Rows.size(), File) ==
-            Rows.size();
-  Ok = Ok && (H.NumEdges == 0 ||
-              std::fread(Dsts.data(), sizeof(NodeId),
-                         static_cast<std::size_t>(H.NumEdges), File) ==
-                  static_cast<std::size_t>(H.NumEdges));
-  if (H.HasWeights) {
-    Weights.allocate(static_cast<std::size_t>(H.NumEdges));
-    Ok = Ok && (H.NumEdges == 0 ||
-                std::fread(Weights.data(), sizeof(Weight),
-                           static_cast<std::size_t>(H.NumEdges), File) ==
-                    static_cast<std::size_t>(H.NumEdges));
-  }
-  std::fclose(File);
-  if (!Ok || Rows[static_cast<std::size_t>(H.NumNodes)] != H.NumEdges)
-    return std::nullopt;
-  return Csr(H.NumNodes, std::move(Rows), std::move(Dsts),
-             std::move(Weights));
+  return std::move(Loaded->G);
+}
+
+std::optional<LoadedGraph> egacs::loadBinaryGraph(const std::string &Path) {
+  return loadBinaryImpl(Path, true);
 }

@@ -8,8 +8,14 @@
 /// \file
 /// Loaders for the input formats the paper's artifact consumes: DIMACS
 /// shortest-path ".gr" files (USA-Road, OSM-EUR) and whitespace edge lists,
-/// plus a fast binary CSR container so large generated graphs can be cached
-/// between benchmark runs.
+/// plus a fast binary container so large generated graphs can be cached
+/// between benchmark runs. Parse failures print a diagnostic on stderr
+/// naming the file, line and reason, then return std::nullopt.
+///
+/// The binary cache is version 2: the v1 CSR payload followed by an
+/// optional prebuilt SELL-C-sigma image (graph/GraphView.h), so the
+/// layout-ablation benches skip the degree sort on reload. Version-1 files
+/// remain readable.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +23,7 @@
 #define EGACS_GRAPH_LOADER_H
 
 #include "graph/Csr.h"
+#include "graph/GraphView.h"
 
 #include <optional>
 #include <string>
@@ -24,18 +31,38 @@
 namespace egacs {
 
 /// Loads a DIMACS ssp ".gr" file ("p sp N M" header, "a src dst w" arcs,
-/// 1-based node ids). Returns std::nullopt on open/parse failure.
+/// 1-based node ids). Returns std::nullopt on open/parse failure (after
+/// printing a file:line diagnostic to stderr).
 std::optional<Csr> loadDimacs(const std::string &Path,
                               bool Symmetrize = false);
 
 /// Loads a whitespace-separated edge list: "src dst [weight]" per line,
-/// '#'-prefixed comments, 0-based ids. Node count is 1 + max id.
+/// '#'-prefixed comments, 0-based ids. Node count is 1 + max id. Returns
+/// std::nullopt on open/parse failure (after printing a file:line
+/// diagnostic to stderr).
 std::optional<Csr> loadEdgeList(const std::string &Path,
                                 bool Symmetrize = false);
 
-/// Saves/loads the binary CSR cache format (magic "EGCS", version 1).
-bool saveBinaryCsr(const Csr &G, const std::string &Path);
+/// A cache-loaded graph: the CSR plus, for v2 files that stored one, the
+/// prebuilt SELL-C-sigma image (adopt with AnyLayout::fromSellImage or
+/// SellView(G, std::move(*Sell))).
+struct LoadedGraph {
+  Csr G;
+  std::optional<SellImage> Sell;
+};
+
+/// Saves the binary cache (magic "EGCS", version 2). When \p Sell is
+/// non-null its image is persisted after the CSR payload so reloads skip
+/// the SELL build.
+bool saveBinaryCsr(const Csr &G, const std::string &Path,
+                   const SellImage *Sell = nullptr);
+
+/// Loads the CSR from a version-1 or version-2 cache file, ignoring any
+/// stored SELL image.
 std::optional<Csr> loadBinaryCsr(const std::string &Path);
+
+/// Loads the CSR plus the stored SELL image, if any.
+std::optional<LoadedGraph> loadBinaryGraph(const std::string &Path);
 
 } // namespace egacs
 

@@ -67,20 +67,35 @@ public:
 
   void stmt(const Stmt &S, const std::string &Mask) {
     switch (S.kind()) {
-    case Stmt::Kind::ForAllNodes:
-      open("forEachNodeSlice<BK>(Sched, G.numNodes(), TaskIdx, TaskCount, "
+    case Stmt::Kind::ForAllNodes: {
+      // Node sweeps run in layout (slot) order: the view's
+      // forEachNodeSlice hands the body the node ids of each vector plus
+      // the slot index, which SELL-sliced layouts use to take the
+      // contiguous-load fast path in the edge loops below.
+      open("forEachNodeSlice<BK>(G, Sched, TaskIdx, TaskCount, "
            "[&](VInt<BK> V_" +
-           S.Var + ", VMask<BK> M_outer) {");
+           S.Var + ", VMask<BK> M_outer, std::int64_t Slot) {");
+      line("(void)Slot;");
+      std::string Saved = SlotSym;
+      SlotSym = "Slot";
       body(S, "M_outer");
+      SlotSym = Saved;
       close("});");
       return;
-    case Stmt::Kind::ForAllItems:
+    }
+    case Stmt::Kind::ForAllItems: {
+      // Worklist items arrive in push order, not layout order: edge loops
+      // below must use the gather path (NoSlot).
       open("forEachWorklistSlice<BK>(Cfg, Sched, In.items(), In.size(), "
            "TaskIdx, TaskCount, [&](VInt<BK> V_" +
            S.Var + ", VMask<BK> M_outer) {");
+      std::string Saved = SlotSym;
+      SlotSym = "egacs::NoSlot";
       body(S, "M_outer");
+      SlotSym = Saved;
       close("});");
       return;
+    }
     case Stmt::Kind::ForAllEdges: {
       // The edge body was hoisted to a kernel-scope lambda so the NP
       // epilogue flush can replay it for staged low-degree edges.
@@ -88,10 +103,10 @@ public:
       HasNpLoop |= S.Schedule == EdgeSchedule::NestedParallel;
       if (S.Schedule == EdgeSchedule::NestedParallel)
         line("npForEachEdge<BK>(G, V_" + S.Var + ", " + Mask + ", TL.Np, " +
-             FnName + ");");
+             FnName + ", " + SlotSym + ");");
       else
         line("plainForEachEdge<BK>(G, V_" + S.Var + ", " + Mask + ", " +
-             FnName + ");");
+             FnName + ", " + SlotSym + ");");
       return;
     }
     case Stmt::Kind::If: {
@@ -182,6 +197,11 @@ public:
   bool UsesFiberCc = false;
   bool UsesChanged = false;
 
+  /// The slot argument edge loops pass to np/plainForEachEdge: the live
+  /// `Slot` variable inside a node sweep (layout order), egacs::NoSlot
+  /// inside worklist sweeps (push order).
+  std::string SlotSym = "egacs::NoSlot";
+
 private:
   std::string &Out;
   [[maybe_unused]] const Program &P;
@@ -191,14 +211,28 @@ private:
   std::map<const Stmt *, std::string> EdgeFnNames;
 };
 
+/// The C++ enumerator name for a layout kind (for emitted source).
+const char *layoutEnumName(egacs::LayoutKind K) {
+  switch (K) {
+  case egacs::LayoutKind::Csr:
+    return "Csr";
+  case egacs::LayoutKind::HubCsr:
+    return "HubCsr";
+  case egacs::LayoutKind::Sell:
+    return "Sell";
+  }
+  assert(false && "invalid layout kind");
+  return "Csr";
+}
+
 void emitKernel(std::string &Out, const Program &P, const Kernel &K) {
   Out += "/// Kernel " + K.Name;
   if (K.UseFibers)
     Out += " (fibers enabled)";
-  Out += ".\ntemplate <typename BK>\n";
+  Out += ".\ntemplate <typename BK, typename GV>\n";
   Out += "void " + K.Name +
          "_kernel(const KernelConfig &Cfg, LoopScheduler &Sched, "
-         "const Csr &G, " + P.Name +
+         "const GV &G, " + P.Name +
          "_State &State, const Worklist &In, Worklist &Out, TaskLocal &TL, "
          "std::int32_t &Changed, int TaskIdx, int TaskCount) {\n";
   Out += "  using namespace egacs::simd;\n";
@@ -223,7 +257,8 @@ void emitKernel(std::string &Out, const Program &P, const Kernel &K) {
   Out += "}\n\n";
 }
 
-void emitPipe(std::string &Out, const Program &P, const Pipe &Pp) {
+void emitPipe(std::string &Out, const Program &P, const Pipe &Pp,
+              const CodeGenOptions &Opts) {
   // A pipe whose kernels are all topology-driven converges on the
   // relaxation count; worklist pipes drain their frontier.
   bool Fixpoint = !Pp.Invocations.empty();
@@ -235,8 +270,8 @@ void emitPipe(std::string &Out, const Program &P, const Pipe &Pp) {
   Out += "/// Pipe " + Pp.Name + (Pp.Outlined ? " (outlined)" : "") +
          (Fixpoint ? ": iterates its kernels to a relaxation fixpoint.\n"
                    : ": iterates its kernels until the worklist drains.\n");
-  Out += "template <typename BK>\n";
-  Out += "void " + Pp.Name + "_run(const Csr &G, KernelConfig Cfg, " +
+  Out += "template <typename BK, typename GV>\n";
+  Out += "void " + Pp.Name + "_run(const GV &G, KernelConfig Cfg, " +
          P.Name + "_State &State, NodeId Source) {\n";
   Out += "  Cfg.IterationOutlining = " +
          std::string(Pp.Outlined ? "true" : "false") + ";\n";
@@ -276,6 +311,25 @@ void emitPipe(std::string &Out, const Program &P, const Pipe &Pp) {
     Out += "  });\n";
   }
   Out += "}\n\n";
+
+  // Convenience driver: the emitted kernels are layout-generic, this
+  // materializes the layout the compiler was configured with (--layout=)
+  // over a bare CSR and dispatches into the templated _run.
+  Out += "/// Builds the " +
+         std::string(egacs::layoutName(Opts.Layout)) +
+         " layout over \\p G and runs " + Pp.Name + "_run through it.\n";
+  Out += "template <typename BK>\n";
+  Out += "void " + Pp.Name + "_run_auto(const Csr &G, KernelConfig Cfg, " +
+         P.Name + "_State &State, NodeId Source) {\n";
+  Out += "  LayoutOptions LOpts;\n";
+  Out += "  LOpts.SellChunk = BK::Width;\n";
+  Out += "  LOpts.SellSigma = Cfg.SellSigma;\n";
+  Out += "  AnyLayout Layout = AnyLayout::build(LayoutKind::" +
+         std::string(layoutEnumName(Opts.Layout)) + ", G, LOpts);\n";
+  Out += "  Layout.visit([&](const auto &View) {\n";
+  Out += "    " + Pp.Name + "_run<BK>(View, Cfg, State, Source);\n";
+  Out += "  });\n";
+  Out += "}\n\n";
 }
 
 } // namespace
@@ -301,7 +355,7 @@ std::string egacs::irgl::emitCpp(const Program &P,
   for (const Kernel &K : P.Kernels)
     emitKernel(Out, P, K);
   for (const Pipe &Pp : P.Pipes)
-    emitPipe(Out, P, Pp);
+    emitPipe(Out, P, Pp, Opts);
 
   Out += "} // namespace " + Opts.Namespace + "\n";
   return Out;

@@ -20,6 +20,7 @@
 #ifndef EGACS_IRGL_CODEGEN_H
 #define EGACS_IRGL_CODEGEN_H
 
+#include "graph/GraphView.h"
 #include "irgl/Ast.h"
 
 #include <string>
@@ -30,6 +31,12 @@ namespace egacs::irgl {
 struct CodeGenOptions {
   /// Namespace for the generated code.
   std::string Namespace = "egacs::gen";
+  /// Graph layout the emitted `<pipe>_run_auto` convenience driver
+  /// materializes over a bare CSR before dispatching into the
+  /// layout-templated `<pipe>_run` (the --layout= knob of
+  /// examples/irgl_codegen). The kernels themselves are emitted against
+  /// the GraphView surface and work with any layout.
+  LayoutKind Layout = LayoutKind::Csr;
 };
 
 /// Emits a C++ translation unit implementing \p P: a state struct holding

@@ -38,9 +38,9 @@ namespace bfs_detail {
 
 /// One sparse (worklist) BFS round for one task: expands In's slice into
 /// Out. When \p Local is non-null pushes aggregate fiber-locally.
-template <typename BK>
+template <typename BK, typename VT>
 void bfsSparseRound(const KernelConfig &Cfg, LoopScheduler &Sched,
-                    const Csr &G, std::int32_t *Dist, std::int32_t NextLevel,
+                    const VT &G, std::int32_t *Dist, std::int32_t NextLevel,
                     const Worklist &In, Worklist &Out, TaskLocal &TL,
                     int TaskIdx, int TaskCount, bool FiberLevelCc) {
   using namespace simd;
@@ -64,8 +64,8 @@ void bfsSparseRound(const KernelConfig &Cfg, LoopScheduler &Sched,
 } // namespace bfs_detail
 
 /// bfs-wl: worklist level-synchronous BFS.
-template <typename BK>
-std::vector<std::int32_t> bfsWl(const Csr &G, const KernelConfig &Cfg,
+template <typename BK, typename VT>
+std::vector<std::int32_t> bfsWl(const VT &G, const KernelConfig &Cfg,
                                 NodeId Source) {
   std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
                                  InfDist);
@@ -97,8 +97,8 @@ std::vector<std::int32_t> bfsWl(const Csr &G, const KernelConfig &Cfg,
 
 /// bfs-cx: worklist BFS with fiber-level Cooperative Conversion (one atomic
 /// push reservation per task per round when Fibers are enabled).
-template <typename BK>
-std::vector<std::int32_t> bfsCx(const Csr &G, const KernelConfig &Cfg,
+template <typename BK, typename VT>
+std::vector<std::int32_t> bfsCx(const VT &G, const KernelConfig &Cfg,
                                 NodeId Source) {
   std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
                                  InfDist);
@@ -132,8 +132,8 @@ std::vector<std::int32_t> bfsCx(const Csr &G, const KernelConfig &Cfg,
 }
 
 /// bfs-tp: topology-driven BFS (rescans all nodes every level).
-template <typename BK>
-std::vector<std::int32_t> bfsTp(const Csr &G, const KernelConfig &Cfg,
+template <typename BK, typename VT>
+std::vector<std::int32_t> bfsTp(const VT &G, const KernelConfig &Cfg,
                                 NodeId Source) {
   using namespace simd;
   std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
@@ -160,12 +160,12 @@ std::vector<std::int32_t> bfsTp(const Csr &G, const KernelConfig &Cfg,
           LocalWins += popcount(Won);
         };
         forEachNodeSlice<BK>(
-            *Sched, G.numNodes(), TaskIdx, TaskCount,
-            [&](VInt<BK> Node, VMask<BK> Act) {
+            G, *Sched, TaskIdx, TaskCount,
+            [&](VInt<BK> Node, VMask<BK> Act, std::int64_t Slot) {
               VMask<BK> OnLevel =
                   Act & (gather<BK>(Dist.data(), Node, Act) == Cur);
               if (any(OnLevel))
-                visitEdges<BK>(Cfg, G, Node, OnLevel, TL.Np, OnEdge);
+                visitEdges<BK>(Cfg, G, Node, OnLevel, TL.Np, OnEdge, Slot);
             });
         flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
         if (LocalWins)
@@ -182,8 +182,8 @@ std::vector<std::int32_t> bfsTp(const Csr &G, const KernelConfig &Cfg,
 
 /// bfs-hb: hybrid BFS; dense rounds when the frontier exceeds 1/HybridDenom
 /// of the nodes, sparse rounds otherwise.
-template <typename BK>
-std::vector<std::int32_t> bfsHb(const Csr &G, const KernelConfig &Cfg,
+template <typename BK, typename VT>
+std::vector<std::int32_t> bfsHb(const VT &G, const KernelConfig &Cfg,
                                 NodeId Source) {
   int HybridDenom = Cfg.HybridDenominator;
   using namespace simd;
@@ -224,12 +224,12 @@ std::vector<std::int32_t> bfsHb(const Csr &G, const KernelConfig &Cfg,
             pushFrontier<BK>(Cfg, WL.out(), Local, Dst, Won);
         };
         forEachNodeSlice<BK>(
-            *Sched, G.numNodes(), TaskIdx, TaskCount,
-            [&](VInt<BK> Node, VMask<BK> Act) {
+            G, *Sched, TaskIdx, TaskCount,
+            [&](VInt<BK> Node, VMask<BK> Act, std::int64_t Slot) {
               VMask<BK> OnLevel =
                   Act & (gather<BK>(Dist.data(), Node, Act) == Cur);
               if (any(OnLevel))
-                visitEdges<BK>(Cfg, G, Node, OnLevel, TL.Np, OnEdge);
+                visitEdges<BK>(Cfg, G, Node, OnLevel, TL.Np, OnEdge, Slot);
             });
         flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
         if (Local)

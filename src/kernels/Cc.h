@@ -24,8 +24,8 @@
 namespace egacs {
 
 /// cc: label-propagation components; returns per-node component labels.
-template <typename BK>
-std::vector<std::int32_t> connectedComponents(const Csr &G,
+template <typename BK, typename VT>
+std::vector<std::int32_t> connectedComponents(const VT &G,
                                               const KernelConfig &Cfg) {
   using namespace simd;
   std::vector<std::int32_t> Comp(static_cast<std::size_t>(G.numNodes()));

@@ -18,6 +18,7 @@
 #ifndef EGACS_KERNELS_KERNELCONFIG_H
 #define EGACS_KERNELS_KERNELCONFIG_H
 
+#include "graph/GraphView.h"
 #include "runtime/TaskSystem.h"
 #include "sched/UpdateEngine.h"
 #include "sched/WorkStealing.h"
@@ -78,6 +79,16 @@ struct KernelConfig {
   /// propagation-blocking bin. 16K float slots = 64 KiB, comfortably
   /// cache-resident during the merge pass.
   std::int64_t UpdateBlockNodes = 1 << 14;
+
+  // --- Graph layout (storage the SIMD loops consume) ---------------------
+  /// Which GraphView the runtime-dispatch entry points build when handed a
+  /// bare Csr: plain CSR (the paper's layout), hub-partitioned CSR, or
+  /// SELL-C-sigma slices. Statically typed call sites pass their view
+  /// directly and ignore this.
+  LayoutKind Layout = LayoutKind::Csr;
+  /// SELL-C-sigma sorting window in nodes (the sigma knob of the layout
+  /// ablation); C itself follows the execution target's SIMD width.
+  std::int32_t SellSigma = 1 << 12;
 
   // --- Ablation knobs (defaults match the paper's choices) ---------------
   /// Cap on the dynamic fiber-count formula (paper: 256, set empirically).

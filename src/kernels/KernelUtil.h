@@ -64,19 +64,24 @@ makeTaskLocals(const KernelConfig &Cfg, std::size_t LocalCapacity = 8192) {
 
 /// Visits the edges of the active nodes in \p Node, choosing the NP
 /// inspector-executor or the plain per-lane loop per Cfg. The caller must
-/// call flushEdges after its last vector of the phase.
-template <typename BK, typename EdgeFnT>
-void visitEdges(const KernelConfig &Cfg, const Csr &G, simd::VInt<BK> Node,
-                simd::VMask<BK> Act, NpScratch &Scratch, EdgeFnT &&Fn) {
+/// call flushEdges after its last vector of the phase. \p Slot is the
+/// layout slot of lane 0 when the node vector came from a slot-aligned
+/// topology sweep (forEachNodeSlice passes it through), NoSlot for
+/// worklist-order vectors; SELL views use it to substitute unit-stride
+/// chunk sweeps for the neighbor gathers.
+template <typename BK, typename VT, typename EdgeFnT>
+void visitEdges(const KernelConfig &Cfg, const VT &G, simd::VInt<BK> Node,
+                simd::VMask<BK> Act, NpScratch &Scratch, EdgeFnT &&Fn,
+                std::int64_t Slot = NoSlot) {
   if (Cfg.NestedParallelism)
-    npForEachEdge<BK>(G, Node, Act, Scratch, Fn);
+    npForEachEdge<BK>(G, Node, Act, Scratch, Fn, Slot);
   else
-    plainForEachEdge<BK>(G, Node, Act, Fn);
+    plainForEachEdge<BK>(G, Node, Act, Fn, Slot);
 }
 
 /// Drains any NP-staged low-degree edges.
-template <typename BK, typename EdgeFnT>
-void flushEdges(const KernelConfig &Cfg, const Csr &G, NpScratch &Scratch,
+template <typename BK, typename VT, typename EdgeFnT>
+void flushEdges(const KernelConfig &Cfg, const VT &G, NpScratch &Scratch,
                 EdgeFnT &&Fn) {
   if (Cfg.NestedParallelism)
     Scratch.flush<BK>(G, Fn);
@@ -165,8 +170,21 @@ void forEachWorklistSlice(const KernelConfig &Cfg, LoopScheduler &Sched,
                   });
 }
 
-/// Iterates task \p TaskIdx's share of node ids [0, NumNodes) one vector at
-/// a time (topology-driven kernels), pulling ranges from \p Sched.
+/// Iterates task \p TaskIdx's share of the view's node slots one vector at
+/// a time (topology-driven kernels), pulling ranges from \p Sched:
+/// Body(VInt NodeIds, VMask Active, int64 Slot). Node ids follow the
+/// layout's iteration order; Slot feeds visitEdges so SELL chunk sweeps
+/// engage on aligned vectors.
+template <typename BK, typename VT, typename BodyT>
+void forEachNodeSlice(const VT &G, LoopScheduler &Sched, int TaskIdx,
+                      int TaskCount, BodyT &&Body) {
+  Sched.forRanges(static_cast<std::int64_t>(G.numNodes()), TaskIdx, TaskCount,
+                  [&](std::int64_t Begin, std::int64_t End) {
+                    forEachNodeVector<BK>(G, Begin, End, Body);
+                  });
+}
+
+/// Legacy id-range slice (identity order, 2-argument Body).
 template <typename BK, typename BodyT>
 void forEachNodeSlice(LoopScheduler &Sched, std::int64_t NumNodes,
                       int TaskIdx, int TaskCount, BodyT &&Body) {

@@ -19,6 +19,7 @@
 #define EGACS_KERNELS_KERNELS_H
 
 #include "graph/Csr.h"
+#include "graph/GraphView.h"
 #include "kernels/KernelConfig.h"
 #include "simd/Backend.h"
 
@@ -85,10 +86,26 @@ struct KernelOutput {
   std::int64_t Scalar1 = 0;
 };
 
+/// Runs \p Kind on \p Target through the statically typed GraphView \p G.
+/// Instantiated for CsrView (Kernels.cpp) and HubCsrView/SellView
+/// (KernelsLayout.cpp); the definition lives in kernels/RunKernelImpl.h.
+template <typename VT>
+KernelOutput runKernelView(KernelKind Kind, simd::TargetKind Target,
+                           const VT &G, const KernelConfig &Cfg,
+                           NodeId Source = 0);
+
 /// Runs \p Kind on \p Target. \p Source seeds bfs/sssp and is ignored
 /// elsewhere. For tri, \p G must have destination-sorted adjacency.
+/// Equivalent to runKernelView over CsrView(G).
 KernelOutput runKernel(KernelKind Kind, simd::TargetKind Target, const Csr &G,
                        const KernelConfig &Cfg, NodeId Source = 0);
+
+/// Runs \p Kind on \p Target through a runtime-selected layout (the
+/// --layout= path of the benches): dispatches into the statically typed
+/// view templates via AnyLayout::visit.
+KernelOutput runKernel(KernelKind Kind, simd::TargetKind Target,
+                       const AnyLayout &L, const KernelConfig &Cfg,
+                       NodeId Source = 0);
 
 /// Checks \p Out against the serial oracles (kernels/Reference.h).
 bool verifyKernelOutput(KernelKind Kind, const Csr &G, NodeId Source,

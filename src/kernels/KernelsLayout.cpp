@@ -1,0 +1,39 @@
+//===- kernels/KernelsLayout.cpp - Non-default layout instantiations ------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Explicit runKernelView instantiations for the reordered layouts
+/// (HubCsrView, SellView) and the runtime AnyLayout dispatcher. A separate
+/// TU from Kernels.cpp so the 10-kernel x all-targets template expansion of
+/// each layout compiles in parallel and the default CsrView path is not
+/// held hostage to it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/RunKernelImpl.h"
+
+using namespace egacs;
+
+template KernelOutput egacs::runKernelView<HubCsrView>(KernelKind,
+                                                       simd::TargetKind,
+                                                       const HubCsrView &,
+                                                       const KernelConfig &,
+                                                       NodeId);
+
+template KernelOutput egacs::runKernelView<SellView>(KernelKind,
+                                                     simd::TargetKind,
+                                                     const SellView &,
+                                                     const KernelConfig &,
+                                                     NodeId);
+
+KernelOutput egacs::runKernel(KernelKind Kind, simd::TargetKind Target,
+                              const AnyLayout &L, const KernelConfig &Cfg,
+                              NodeId Source) {
+  return L.visit([&](const auto &View) {
+    return runKernelView(Kind, Target, View, Cfg, Source);
+  });
+}

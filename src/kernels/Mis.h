@@ -33,8 +33,8 @@
 namespace egacs {
 
 /// mis: returns per-node states, each either MisIn or MisOut.
-template <typename BK>
-std::vector<std::int32_t> maximalIndependentSet(const Csr &G,
+template <typename BK, typename VT>
+std::vector<std::int32_t> maximalIndependentSet(const VT &G,
                                                 const KernelConfig &Cfg,
                                                 std::uint64_t Seed = 0x5eed) {
   using namespace simd;

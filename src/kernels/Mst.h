@@ -33,8 +33,8 @@ struct MstResult {
 };
 
 /// mst: Bořůvka minimum spanning forest of the symmetric weighted graph.
-template <typename BK>
-MstResult boruvkaMst(const Csr &G, const KernelConfig &Cfg) {
+template <typename BK, typename VT>
+MstResult boruvkaMst(const VT &G, const KernelConfig &Cfg) {
   using namespace simd;
   assert(G.hasWeights() && "mst needs edge weights");
   NodeId N = G.numNodes();
@@ -178,8 +178,8 @@ MstResult boruvkaMst(const Csr &G, const KernelConfig &Cfg) {
 
   // Pointer jumping: halve every chain until all nodes point at roots.
   TaskFn Compress = [&](int TaskIdx, int TaskCount) {
-    forEachNodeSlice<BK>(*Sched, N, TaskIdx, TaskCount,
-                         [&](VInt<BK> Node, VMask<BK> Act) {
+    forEachNodeSlice<BK>(G, *Sched, TaskIdx, TaskCount,
+                         [&](VInt<BK> Node, VMask<BK> Act, std::int64_t) {
                            VMask<BK> Moving = Act;
                            VInt<BK> X = Node;
                            while (any(Moving)) {

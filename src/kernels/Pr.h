@@ -32,8 +32,8 @@
 namespace egacs {
 
 /// pr: returns the converged PageRank vector (sums to ~1).
-template <typename BK>
-std::vector<float> pageRank(const Csr &G, const KernelConfig &Cfg,
+template <typename BK, typename VT>
+std::vector<float> pageRank(const VT &G, const KernelConfig &Cfg,
                             int MaxRounds = 50) {
   using namespace simd;
   NodeId N = G.numNodes();
@@ -57,7 +57,8 @@ std::vector<float> pageRank(const Csr &G, const KernelConfig &Cfg,
   // Phase 1: per-node out-contribution rank/degree (0 for sinks).
   TaskFn ComputeContrib = [&](int TaskIdx, int TaskCount) {
     forEachNodeSlice<BK>(
-        *Sched, N, TaskIdx, TaskCount, [&](VInt<BK> Node, VMask<BK> Act) {
+        G, *Sched, TaskIdx, TaskCount,
+        [&](VInt<BK> Node, VMask<BK> Act, std::int64_t) {
           VInt<BK> Row = gather<BK>(G.rowStart(), Node, Act);
           VInt<BK> End = gather<BK>(G.rowStart() + 1, Node, Act);
           VInt<BK> Deg = End - Row;
@@ -76,9 +77,10 @@ std::vector<float> pageRank(const Csr &G, const KernelConfig &Cfg,
   // keeps the exact pre-engine inner loop (no per-vector policy dispatch).
   auto PushSweep = [&](int TaskIdx, int TaskCount, auto &&OnEdge) {
     TaskLocal &TL = *Locals[TaskIdx];
-    forEachNodeSlice<BK>(*Sched, N, TaskIdx, TaskCount,
-                         [&](VInt<BK> Node, VMask<BK> Act) {
-                           visitEdges<BK>(Cfg, G, Node, Act, TL.Np, OnEdge);
+    forEachNodeSlice<BK>(G, *Sched, TaskIdx, TaskCount,
+                         [&](VInt<BK> Node, VMask<BK> Act, std::int64_t Slot) {
+                           visitEdges<BK>(Cfg, G, Node, Act, TL.Np, OnEdge,
+                                          Slot);
                          });
     flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
   };
@@ -110,7 +112,8 @@ std::vector<float> pageRank(const Csr &G, const KernelConfig &Cfg,
   TaskFn ApplyAndResidual = [&](int TaskIdx, int TaskCount) {
     float LocalMax = 0.0f;
     forEachNodeSlice<BK>(
-        *Sched, N, TaskIdx, TaskCount, [&](VInt<BK> Node, VMask<BK> Act) {
+        G, *Sched, TaskIdx, TaskCount,
+        [&](VInt<BK> Node, VMask<BK> Act, std::int64_t) {
           VFloat<BK> Old = gatherF<BK>(Rank.data(), Node, Act);
           VFloat<BK> Sum = gatherF<BK>(Accum.data(), Node, Act);
           VFloat<BK> New = splatF<BK>(Base) + splatF<BK>(Cfg.PrDamping) * Sum;

@@ -1,0 +1,79 @@
+//===- kernels/RunKernelImpl.h - runKernelView template body ----*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The definition of the runKernelView<VT> dispatch template. Deliberately
+/// not included from Kernels.h: each view's 10-kernel x all-targets
+/// instantiation is heavy, so CsrView is instantiated in Kernels.cpp and
+/// the HubCsr/Sell views in KernelsLayout.cpp, keeping per-TU compile time
+/// flat as layouts are added.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_KERNELS_RUNKERNELIMPL_H
+#define EGACS_KERNELS_RUNKERNELIMPL_H
+
+#include "kernels/Bfs.h"
+#include "kernels/Cc.h"
+#include "kernels/Kernels.h"
+#include "kernels/Mis.h"
+#include "kernels/Mst.h"
+#include "kernels/Pr.h"
+#include "kernels/Sssp.h"
+#include "kernels/Tri.h"
+#include "simd/Targets.h"
+
+namespace egacs {
+
+template <typename VT>
+KernelOutput runKernelView(KernelKind Kind, simd::TargetKind Target,
+                           const VT &G, const KernelConfig &Cfg,
+                           NodeId Source) {
+  return simd::dispatchTarget(Target, [&]<typename BK>() {
+    KernelOutput Out;
+    switch (Kind) {
+    case KernelKind::BfsWl:
+      Out.IntData = bfsWl<BK>(G, Cfg, Source);
+      break;
+    case KernelKind::BfsCx:
+      Out.IntData = bfsCx<BK>(G, Cfg, Source);
+      break;
+    case KernelKind::BfsTp:
+      Out.IntData = bfsTp<BK>(G, Cfg, Source);
+      break;
+    case KernelKind::BfsHb:
+      Out.IntData = bfsHb<BK>(G, Cfg, Source);
+      break;
+    case KernelKind::Cc:
+      Out.IntData = connectedComponents<BK>(G, Cfg);
+      break;
+    case KernelKind::Tri:
+      Out.Scalar0 = triangleCount<BK>(G, Cfg);
+      break;
+    case KernelKind::SsspNf:
+      Out.IntData = ssspNf<BK>(G, Cfg, Source);
+      break;
+    case KernelKind::Mis:
+      Out.IntData = maximalIndependentSet<BK>(G, Cfg);
+      break;
+    case KernelKind::Pr:
+      Out.FloatData = pageRank<BK>(G, Cfg);
+      break;
+    case KernelKind::Mst: {
+      MstResult R = boruvkaMst<BK>(G, Cfg);
+      Out.Scalar0 = R.TotalWeight;
+      Out.Scalar1 = R.NumEdges;
+      break;
+    }
+    }
+    return Out;
+  });
+}
+
+} // namespace egacs
+
+#endif // EGACS_KERNELS_RUNKERNELIMPL_H

@@ -25,9 +25,12 @@
 namespace egacs {
 
 /// sssp-nf: near-far SSSP from \p Source over non-negative edge weights.
-/// Returns tentative distances (InfDist for unreachable nodes).
-template <typename BK>
-std::vector<std::int32_t> ssspNf(const Csr &G, const KernelConfig &Cfg,
+/// Returns tentative distances (InfDist for unreachable nodes). The edge
+/// functor receives original CSR edge indices from every layout (SELL
+/// slices carry them alongside the destinations), so the weight gather
+/// below stays exact.
+template <typename BK, typename VT>
+std::vector<std::int32_t> ssspNf(const VT &G, const KernelConfig &Cfg,
                                  NodeId Source) {
   using namespace simd;
   assert(G.hasWeights() && "sssp needs edge weights");

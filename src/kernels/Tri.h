@@ -25,7 +25,9 @@
 namespace egacs {
 
 /// Builds the edge -> source-node map used by edge-parallel kernels.
-inline std::vector<NodeId> buildEdgeSources(const Csr &G) {
+/// Works on any GraphView (uses only the CSR fallback surface).
+template <typename VT>
+std::vector<NodeId> buildEdgeSources(const VT &G) {
   std::vector<NodeId> Src(static_cast<std::size_t>(G.numEdges()));
   for (NodeId N = 0; N < G.numNodes(); ++N)
     for (EdgeId E = G.rowStart()[N]; E < G.rowStart()[N + 1]; ++E)
@@ -34,9 +36,11 @@ inline std::vector<NodeId> buildEdgeSources(const Csr &G) {
 }
 
 /// tri: counts triangles of the symmetric graph \p G, whose adjacency lists
-/// must be sorted by destination.
-template <typename BK>
-std::int64_t triangleCount(const Csr &G, const KernelConfig &Cfg) {
+/// must be sorted by destination. Edge-parallel over the CSR edge array,
+/// which every layout keeps as its fallback surface; the two-pointer merges
+/// are inherently ordered so the SELL slices do not apply here.
+template <typename BK, typename VT>
+std::int64_t triangleCount(const VT &G, const KernelConfig &Cfg) {
   using namespace simd;
   if (G.numNodes() == 0)
     return 0;

@@ -57,8 +57,10 @@ public:
   }
 
   /// Sweeps the buffered edges with full vectors and empties the buffer.
-  template <typename BK, typename EdgeFnT>
-  void flush(const Csr &G, EdgeFnT &&Fn) {
+  /// The staged pairs have lost slot alignment, so every layout satisfies
+  /// this through the edge-index gather surface.
+  template <typename BK, typename VT, typename EdgeFnT>
+  void flush(const VT &G, EdgeFnT &&Fn) {
     using namespace simd;
     for (std::int32_t I = 0; I < Count; I += BK::Width) {
       int Valid = Count - I < BK::Width ? Count - I : BK::Width;
@@ -66,7 +68,8 @@ public:
       VInt<BK> Src = maskedLoad<BK>(SrcBuf.data() + I, Act);
       VInt<BK> Edge = maskedLoad<BK>(EdgeBuf.data() + I, Act);
       recordLaneUtilization<BK>(Act);
-      VInt<BK> Dst = gather<BK>(G.edgeDst(), Edge, Act);
+      recordNeighborGather<BK>(Act);
+      VInt<BK> Dst = gatherNeighbors<BK>(G, Edge, Act);
       Fn(Src, Dst, Edge, Act);
     }
     Count = 0;
@@ -81,9 +84,17 @@ private:
 /// Nested-parallelism edge visit for one vector of nodes. Low-degree edges
 /// are staged in \p Scratch; the caller must Scratch.flush() after its last
 /// vector (and may flush earlier). Fn(Src, Dst, EdgeIdx, Active).
-template <typename BK, typename EdgeFnT>
-void npForEachEdge(const Csr &G, simd::VInt<BK> Node, simd::VMask<BK> Act,
-                   NpScratch &Scratch, EdgeFnT &&Fn) {
+///
+/// When \p G is a SELL view and \p Slot is the Width-aligned slot of this
+/// node vector (chunk height == Width), the low-degree lanes skip the
+/// staging buffer entirely: their neighbors sit in one column-major chunk
+/// and are swept with unit-stride loads (the gather -> contiguous-load
+/// conversion the layout ablation measures). Heavy nodes keep the
+/// warp-level CSR sweep, which is already contiguous.
+template <typename BK, typename VT, typename EdgeFnT>
+void npForEachEdge(const VT &G, simd::VInt<BK> Node, simd::VMask<BK> Act,
+                   NpScratch &Scratch, EdgeFnT &&Fn,
+                   std::int64_t Slot = NoSlot) {
   using namespace simd;
   VInt<BK> Row = gather<BK>(G.rowStart(), Node, Act);
   VInt<BK> End = gather<BK>(G.rowStart() + 1, Node, Act);
@@ -105,13 +116,24 @@ void npForEachEdge(const Csr &G, simd::VInt<BK> Node, simd::VMask<BK> Act,
       VMask<BK> EAct = maskFirstN<BK>(Valid);
       VInt<BK> EIdx = splat<BK>(E) + Lane;
       recordLaneUtilization<BK>(EAct);
+      recordNeighborContig<BK>(EAct);
       VInt<BK> Dst = maskedLoad<BK>(G.edgeDst() + E, EAct);
       Fn(SrcV, Dst, EIdx, EAct);
     }
   }
 
+  VMask<BK> Light = andNot(Act, Heavy);
+
+  if constexpr (ViewSellTraits<VT>::SellSlices) {
+    if (Slot >= 0 && Slot % BK::Width == 0 &&
+        G.chunkWidth() == static_cast<std::int32_t>(BK::Width)) {
+      sellSweepChunk<BK>(G, Node, Light, Slot, Fn);
+      return;
+    }
+  }
+
   // Fine-grained scheduler: compress low-degree (src, edge) pairs.
-  VMask<BK> Live = andNot(Act, Heavy) & (Row < End);
+  VMask<BK> Live = Light & (Row < End);
   while (any(Live)) {
     if (Scratch.needsFlush(BK::Width))
       Scratch.flush<BK>(G, Fn);

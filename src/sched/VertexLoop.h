@@ -12,12 +12,18 @@
 /// lane, each lane walking its own edge list, with utilization degrading as
 /// degrees diverge (Table IV).
 ///
+/// All loops are templated on a GraphView (graph/GraphView.h): with CsrView
+/// (or raw Csr) they compile to exactly the pre-view code; reordered views
+/// supply the node permutation through slotNodes, and SELL-C-sigma views
+/// replace the per-lane neighbor gathers of slot-aligned vectors with
+/// unit-stride chunk sweeps (sellSweepChunk).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EGACS_SCHED_VERTEXLOOP_H
 #define EGACS_SCHED_VERTEXLOOP_H
 
-#include "graph/Csr.h"
+#include "graph/GraphView.h"
 #include "simd/Ops.h"
 
 #include <cstdint>
@@ -39,8 +45,34 @@ void forEachVector(const NodeId *Items, std::int64_t Begin, std::int64_t End,
   }
 }
 
-/// Calls Body(VInt NodeIds, VMask Active) for each Width-sized slice of the
-/// id range [Begin, End) — topology-driven iteration over all nodes.
+/// Calls Body(VInt NodeIds, VMask Active, int64 Slot) for each Width-sized
+/// slice of the view's slot range [Begin, End) — topology-driven iteration
+/// over all nodes in the layout's order. Slot is the first slot index of
+/// the vector; for SELL views an unaligned prefix is peeled so interior
+/// vectors start on Width boundaries and line up with the storage chunks.
+template <typename BK, typename VT, typename BodyT>
+void forEachNodeVector(const VT &G, std::int64_t Begin, std::int64_t End,
+                       BodyT &&Body) {
+  std::int64_t I = Begin;
+  if constexpr (ViewSellTraits<VT>::SellSlices) {
+    std::int64_t Aligned =
+        ((Begin + BK::Width - 1) / BK::Width) * static_cast<std::int64_t>(BK::Width);
+    std::int64_t PeelEnd = Aligned < End ? Aligned : End;
+    if (I < PeelEnd) {
+      simd::VMask<BK> Act = simd::maskFirstN<BK>(static_cast<int>(PeelEnd - I));
+      Body(slotNodes<BK>(G, I, Act), Act, I);
+      I = PeelEnd;
+    }
+  }
+  for (; I < End; I += BK::Width) {
+    int Valid = static_cast<int>(End - I < BK::Width ? End - I : BK::Width);
+    simd::VMask<BK> Act = simd::maskFirstN<BK>(Valid);
+    Body(slotNodes<BK>(G, I, Act), Act, I);
+  }
+}
+
+/// Legacy id-range iteration (identity order, no view): calls
+/// Body(VInt NodeIds, VMask Active).
 template <typename BK, typename BodyT>
 void forEachNodeVector(std::int64_t Begin, std::int64_t End, BodyT &&Body) {
   simd::VInt<BK> Lane = simd::programIndex<BK>();
@@ -53,21 +85,65 @@ void forEachNodeVector(std::int64_t Begin, std::int64_t End, BodyT &&Body) {
   }
 }
 
+/// Full-vector sweep of the SELL chunk whose first slot is the Width-aligned
+/// \p Slot: neighbor j of all Width rows is one unit-stride vector load from
+/// the column-major slice, and the original CSR edge index rides alongside
+/// in a second unit-stride load. Only lanes in \p Act participate.
+/// Fn(Src, Dst, EdgeIdx, Active).
+template <typename BK, typename VT, typename EdgeFnT>
+void sellSweepChunk(const VT &G, simd::VInt<BK> Node, simd::VMask<BK> Act,
+                    std::int64_t Slot, EdgeFnT &&Fn) {
+  using namespace simd;
+  static_assert(ViewSellTraits<VT>::SellSlices,
+                "sellSweepChunk requires a SELL view");
+  VInt<BK> Deg = maskedLoad<BK>(G.slotDegrees() + Slot, Act);
+  std::int64_t Chunk = Slot / BK::Width;
+  const std::int64_t Base = G.sliceOffsets()[Chunk];
+  const NodeId *DstBase = G.sellDst() + Base;
+  const EdgeId *EdgeBase = G.sellEdge() + Base;
+  VInt<BK> J = splat<BK>(0);
+  VMask<BK> Live = Act & (J < Deg);
+  std::int64_t Off = 0;
+  while (any(Live)) {
+    recordLaneUtilization<BK>(Live);
+    recordNeighborContig<BK>(Live);
+    VInt<BK> Dst = maskedLoad<BK>(DstBase + Off, Live);
+    VInt<BK> EIdx = maskedLoad<BK>(EdgeBase + Off, Live);
+    Fn(Node, Dst, EIdx, Live);
+    J = J + splat<BK>(1);
+    Off += BK::Width;
+    Live = Live & (J < Deg);
+  }
+}
+
 /// Baseline inner loop: each lane walks the edges of its own node, so the
 /// vector stays live until the highest-degree lane finishes. Calls
 /// Fn(Src, Dst, EdgeIdx, Active) once per edge-vector step.
 ///
+/// When \p G is a SELL view and \p Slot is the Width-aligned slot of this
+/// node vector (chunk height == Width), the per-lane gather walk is replaced
+/// by the unit-stride chunk sweep. Worklist-order vectors pass NoSlot and
+/// fall back to the CSR gather surface.
+///
 /// This is what the Nested Parallelism scheduler replaces.
-template <typename BK, typename EdgeFnT>
-void plainForEachEdge(const Csr &G, simd::VInt<BK> Node, simd::VMask<BK> Act,
-                      EdgeFnT &&Fn) {
+template <typename BK, typename VT, typename EdgeFnT>
+void plainForEachEdge(const VT &G, simd::VInt<BK> Node, simd::VMask<BK> Act,
+                      EdgeFnT &&Fn, std::int64_t Slot = NoSlot) {
   using namespace simd;
+  if constexpr (ViewSellTraits<VT>::SellSlices) {
+    if (Slot >= 0 && Slot % BK::Width == 0 &&
+        G.chunkWidth() == static_cast<std::int32_t>(BK::Width)) {
+      sellSweepChunk<BK>(G, Node, Act, Slot, Fn);
+      return;
+    }
+  }
   VInt<BK> Row = gather<BK>(G.rowStart(), Node, Act);
   VInt<BK> End = gather<BK>(G.rowStart() + 1, Node, Act);
   VMask<BK> Live = Act & (Row < End);
   while (any(Live)) {
     recordLaneUtilization<BK>(Live);
-    VInt<BK> Dst = gather<BK>(G.edgeDst(), Row, Live);
+    recordNeighborGather<BK>(Live);
+    VInt<BK> Dst = gatherNeighbors<BK>(G, Row, Live);
     Fn(Node, Dst, Row, Live);
     Row = Row + splat<BK>(1);
     Live = Live & (Row < End);

@@ -39,6 +39,26 @@ const char *egacs::simd::targetName(TargetKind Kind) {
   return "<invalid>";
 }
 
+int egacs::simd::targetWidth(TargetKind Kind) {
+  switch (Kind) {
+  case TargetKind::Scalar1:
+    return 1;
+  case TargetKind::Scalar4:
+  case TargetKind::Avx2x4:
+    return 4;
+  case TargetKind::Scalar8:
+  case TargetKind::Avx2x8:
+  case TargetKind::Avx512x8:
+    return 8;
+  case TargetKind::Scalar16:
+  case TargetKind::Avx2x16:
+  case TargetKind::Avx512x16:
+    return 16;
+  }
+  assert(false && "invalid target kind");
+  return 1;
+}
+
 bool egacs::simd::targetSupported(TargetKind Kind) {
   switch (Kind) {
   case TargetKind::Scalar1:

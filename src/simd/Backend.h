@@ -68,6 +68,10 @@ enum class TargetKind {
 /// Returns the ISPC-style target name for \p Kind.
 const char *targetName(TargetKind Kind);
 
+/// Returns the SIMD width (lanes of i32) of \p Kind. Layout builders use
+/// this to make the SELL chunk height match the execution width.
+int targetWidth(TargetKind Kind);
+
 /// Returns true when the executing CPU supports \p Kind.
 bool targetSupported(TargetKind Kind);
 

@@ -351,6 +351,30 @@ template <typename B> void recordLaneUtilization(VMask<B> M) {
 #endif
 }
 
+/// Records that the \p M-active lanes fetched their neighbor id via a
+/// hardware gather (CSR edge-index indirection).
+template <typename B> void recordNeighborGather(VMask<B> M) {
+#ifdef EGACS_STATS
+  if (opCountingEnabled())
+    statAdd(Stat::NeighborGatherLanes,
+            static_cast<std::uint64_t>(popcount(M)));
+#else
+  (void)M;
+#endif
+}
+
+/// Records that the \p M-active lanes fetched their neighbor id via a
+/// unit-stride (contiguous) vector load.
+template <typename B> void recordNeighborContig(VMask<B> M) {
+#ifdef EGACS_STATS
+  if (opCountingEnabled())
+    statAdd(Stat::NeighborContigLanes,
+            static_cast<std::uint64_t>(popcount(M)));
+#else
+  (void)M;
+#endif
+}
+
 } // namespace egacs::simd
 
 #endif // EGACS_SIMD_OPS_H

@@ -63,6 +63,10 @@ const char *egacs::statName(Stat S) {
     return "update-scatter-crit-nanos";
   case Stat::UpdateMergeCritNanos:
     return "update-merge-crit-nanos";
+  case Stat::NeighborGatherLanes:
+    return "neighbor-gather-lanes";
+  case Stat::NeighborContigLanes:
+    return "neighbor-contig-lanes";
   case Stat::NumStats:
     break;
   }

@@ -74,6 +74,15 @@ enum class Stat : unsigned {
   /// Sum over merge-phase episodes of the slowest task's CPU time in the
   /// update engine's merge/apply phase (instrumented runs).
   UpdateMergeCritNanos,
+  /// Active lanes whose neighbor id was fetched with a hardware gather
+  /// (CSR edge-index indirection: the per-lane edge walk and the NP
+  /// low-degree staging buffer flush).
+  NeighborGatherLanes,
+  /// Active lanes whose neighbor id came from a unit-stride (contiguous)
+  /// vector load: the NP heavy-node sweep and the SELL-C-sigma slot-aligned
+  /// chunk sweep. The layout ablation's conversion metric is
+  /// contiguous / (contiguous + gather).
+  NeighborContigLanes,
   NumStats
 };
 

@@ -22,14 +22,26 @@ using namespace egacs::vm;
 
 namespace {
 
-/// Shared layout of the graph arrays; per-app arrays are appended.
+/// Shared layout of the graph arrays; per-app arrays are appended. When a
+/// non-default AnyLayout is supplied, its auxiliary storage (iteration
+/// order, per-slot degrees, SELL slices) gets simulated addresses too, and
+/// the topology-sweep accessors below route through it the way the
+/// execution engine does.
 struct GraphLayout {
   AddressSpace Space;
   std::uint64_t Rows;
   std::uint64_t Dsts;
   std::uint64_t Weights;
 
-  explicit GraphLayout(const Csr &G, bool NeedWeights) {
+  /// Non-null for layout-aware traces.
+  const AnyLayout *Layout = nullptr;
+  std::uint64_t OrderArr = 0;   ///< hub/sell slot -> node permutation.
+  std::uint64_t SlotDegArr = 0; ///< sell per-slot degrees.
+  std::uint64_t SellDstArr = 0; ///< sell column-major slice entries.
+
+  explicit GraphLayout(const Csr &G, bool NeedWeights,
+                       const AnyLayout *L = nullptr)
+      : Layout(L && L->kind() != LayoutKind::Csr ? L : nullptr) {
     Rows = Space.addArray("rowstart",
                           (static_cast<std::uint64_t>(G.numNodes()) + 1) * 4);
     Dsts = Space.addArray("edgedst",
@@ -39,11 +51,72 @@ struct GraphLayout {
                         "weights",
                         static_cast<std::uint64_t>(G.numEdges()) * 4)
                   : 0;
+    if (!Layout)
+      return;
+    if (const SellView *S = Layout->sell()) {
+      OrderArr = Space.addArray(
+          "layout-order",
+          static_cast<std::uint64_t>(S->paddedSlots()) * 4);
+      SlotDegArr = Space.addArray(
+          "sell-slotdeg",
+          static_cast<std::uint64_t>(S->paddedSlots()) * 4);
+      SellDstArr = Space.addArray(
+          "sell-slices",
+          static_cast<std::uint64_t>(S->storedEntries()) * 4);
+    } else if (const HubCsrView *H = Layout->hub()) {
+      OrderArr = Space.addArray(
+          "layout-order", static_cast<std::uint64_t>(H->numNodes()) * 4);
+    }
   }
 
   std::uint64_t rowAddr(NodeId N) const { return Rows + 4ull * N; }
   std::uint64_t dstAddr(EdgeId E) const { return Dsts + 4ull * E; }
   std::uint64_t weightAddr(EdgeId E) const { return Weights + 4ull * E; }
+
+  // --- Topology-sweep surface (what forEachNodeSlice + the slot-aligned
+  // --- edge sweeps touch). Worklist-driven tracers bypass these and use
+  // --- the CSR addresses directly, mirroring the NoSlot fallback.
+
+  /// The node occupying sweep position \p Pos; permuted layouts read their
+  /// order array to learn it.
+  NodeId sweepNode(PagingSim &Sim, std::int64_t Pos) const {
+    if (!Layout)
+      return static_cast<NodeId>(Pos);
+    Sim.access(OrderArr + 4ull * static_cast<std::uint64_t>(Pos));
+    if (const SellView *S = Layout->sell())
+      return S->iterationOrder()[Pos];
+    return Layout->hub()->iterationOrder()[Pos];
+  }
+
+  /// Records the reads that establish the degree of the node at sweep
+  /// position \p Pos: SELL sweeps read the per-slot degree array, CSR
+  /// sweeps read two row-start entries.
+  void accessDegree(PagingSim &Sim, NodeId U, std::int64_t Pos) const {
+    if (Layout && Layout->sell()) {
+      Sim.access(SlotDegArr + 4ull * static_cast<std::uint64_t>(Pos));
+      return;
+    }
+    Sim.access(rowAddr(U));
+    Sim.access(rowAddr(U + 1));
+  }
+
+  /// Records the read of neighbor \p I of node \p U inside the layout's
+  /// native storage (a SELL slice entry, or the CSR edge slot at original
+  /// edge index \p E).
+  void accessNeighbor(PagingSim &Sim, NodeId U, EdgeId I, EdgeId E) const {
+    if (const SellView *S = Layout ? Layout->sell() : nullptr) {
+      std::int64_t Slot = S->slotOf(U);
+      std::int64_t C = S->chunkWidth();
+      std::int64_t Base = S->sliceOffsets()[Slot / C] + Slot % C;
+      Sim.access(SellDstArr +
+                 4ull * static_cast<std::uint64_t>(
+                            Base + static_cast<std::int64_t>(I) * C));
+      return;
+    }
+    (void)U;
+    (void)I;
+    Sim.access(dstAddr(E));
+  }
 };
 
 std::uint64_t elems4(std::uint64_t Count) { return Count * 4; }
@@ -119,22 +192,27 @@ void traceSssp(const Csr &G, NodeId Source, PagingSim &Sim) {
   }
 }
 
-void traceCc(const Csr &G, PagingSim &Sim) {
-  GraphLayout L(G, false);
+void traceCc(const Csr &G, PagingSim &Sim, const AnyLayout *Layout) {
+  GraphLayout L(G, false, Layout);
   std::uint64_t Comp = L.Space.addArray("comp", elems4(G.numNodes()));
 
   // Topology-driven label propagation: sequential sweeps until stable.
+  // This is the one traced app whose sweep runs in layout order, so hub /
+  // SELL layouts change both the node visit sequence and the adjacency
+  // addresses (order array + per-slot degrees + slice entries).
   std::vector<std::int32_t> C(static_cast<std::size_t>(G.numNodes()));
   std::iota(C.begin(), C.end(), 0);
   bool Changed = true;
   while (Changed) {
     Changed = false;
-    for (NodeId U = 0; U < G.numNodes(); ++U) {
-      Sim.access(L.rowAddr(U));
-      Sim.access(L.rowAddr(U + 1));
+    for (std::int64_t Pos = 0; Pos < G.numNodes(); ++Pos) {
+      NodeId U = L.sweepNode(Sim, Pos);
+      L.accessDegree(Sim, U, Pos);
       Sim.access(Comp + 4ull * U);
-      for (EdgeId E = G.rowStart()[U]; E < G.rowStart()[U + 1]; ++E) {
-        Sim.access(L.dstAddr(E));
+      EdgeId Begin = G.rowStart()[U], Deg = G.degree(U);
+      for (EdgeId I = 0; I < Deg; ++I) {
+        EdgeId E = Begin + I;
+        L.accessNeighbor(Sim, U, I, E);
         NodeId V = G.edgeDst()[static_cast<std::size_t>(E)];
         Sim.access(Comp + 4ull * V, /*Write=*/true);
         if (C[static_cast<std::size_t>(U)] <
@@ -369,6 +447,12 @@ void traceMst(const Csr &G, PagingSim &Sim) {
 } // namespace
 
 std::uint64_t egacs::vm::appFootprintBytes(const std::string &App,
+                                           const AnyLayout &L) {
+  return appFootprintBytes(App, L.csr()) +
+         static_cast<std::uint64_t>(L.layoutAuxBytes());
+}
+
+std::uint64_t egacs::vm::appFootprintBytes(const std::string &App,
                                            const Csr &G) {
   std::uint64_t N = static_cast<std::uint64_t>(G.numNodes());
   std::uint64_t M = static_cast<std::uint64_t>(G.numEdges());
@@ -391,14 +475,20 @@ std::uint64_t egacs::vm::appFootprintBytes(const std::string &App,
   return Graph;
 }
 
-void egacs::vm::traceApp(const std::string &App, const Csr &G, NodeId Source,
-                         PagingSim &Sim) {
+namespace {
+
+void traceAppImpl(const std::string &App, const Csr &G,
+                  const AnyLayout *Layout, NodeId Source, PagingSim &Sim) {
+  // Worklist-driven (bfs-wl, sssp, pr, mis) and edge-parallel (tri, mst)
+  // apps traverse the CSR fallback surface regardless of layout, exactly
+  // like the execution engine's NoSlot path; only the topology sweep (cc)
+  // sees layout-specific addresses.
   if (App == "bfs-wl")
     return traceBfsWl(G, Source, Sim);
   if (App == "sssp")
     return traceSssp(G, Source, Sim);
   if (App == "cc")
-    return traceCc(G, Sim);
+    return traceCc(G, Sim, Layout);
   if (App == "tri")
     return traceTri(G, Sim);
   if (App == "mis")
@@ -408,4 +498,16 @@ void egacs::vm::traceApp(const std::string &App, const Csr &G, NodeId Source,
   if (App == "mst")
     return traceMst(G, Sim);
   assert(false && "unknown app");
+}
+
+} // namespace
+
+void egacs::vm::traceApp(const std::string &App, const Csr &G, NodeId Source,
+                         PagingSim &Sim) {
+  traceAppImpl(App, G, nullptr, Source, Sim);
+}
+
+void egacs::vm::traceApp(const std::string &App, const AnyLayout &L,
+                         NodeId Source, PagingSim &Sim) {
+  traceAppImpl(App, L.csr(), &L, Source, Sim);
 }

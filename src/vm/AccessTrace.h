@@ -21,6 +21,7 @@
 #define EGACS_VM_ACCESSTRACE_H
 
 #include "graph/Csr.h"
+#include "graph/GraphView.h"
 #include "vm/PagingSim.h"
 
 namespace egacs::vm {
@@ -29,9 +30,21 @@ namespace egacs::vm {
 /// "mis", "pr", "mst") for graph \p G and returns the footprint in bytes.
 std::uint64_t appFootprintBytes(const std::string &App, const Csr &G);
 
+/// Footprint through a non-default layout: the CSR footprint plus the
+/// layout's auxiliary arrays (iteration order, SELL slices).
+std::uint64_t appFootprintBytes(const std::string &App, const AnyLayout &L);
+
 /// Runs the named benchmark against \p G, streaming its accesses into
 /// \p Sim. \p Source seeds bfs/sssp.
 void traceApp(const std::string &App, const Csr &G, NodeId Source,
+              PagingSim &Sim);
+
+/// Layout-aware trace: topology-driven sweeps (cc) read the layout's real
+/// storage — the iteration-order permutation, per-slot degrees and SELL
+/// slice entries land at their own simulated addresses. Worklist-driven
+/// and edge-parallel apps traverse the CSR fallback surface exactly as the
+/// execution engine does, so their addresses are layout-invariant.
+void traceApp(const std::string &App, const AnyLayout &L, NodeId Source,
               PagingSim &Sim);
 
 } // namespace egacs::vm

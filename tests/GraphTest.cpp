@@ -11,8 +11,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <set>
 
@@ -98,6 +101,25 @@ TEST(CsrSorted, AdjacencySortedByDestination) {
   // Weights follow their arcs.
   EXPECT_EQ(S.weights(0)[0], 1);
   EXPECT_EQ(S.weights(0)[2], 3);
+}
+
+TEST(CsrBuild, EdgeCountBoundaryIsExact) {
+  // The 32-bit EdgeId overflow guard, exercised with mocked counts so the
+  // boundary is testable without materializing two billion edges.
+  // RowStart[NumNodes] must hold the total edge count, so 2^31 - 1 is the
+  // largest valid count and 2^31 the first invalid one.
+  constexpr std::size_t Max = 0x7fffffffu;
+  EXPECT_TRUE(csrEdgeCountValid(0));
+  EXPECT_TRUE(csrEdgeCountValid(1));
+  EXPECT_TRUE(csrEdgeCountValid(Max - 1));
+  EXPECT_TRUE(csrEdgeCountValid(Max));
+  EXPECT_FALSE(csrEdgeCountValid(Max + 1));
+  EXPECT_FALSE(csrEdgeCountValid(std::size_t{1} << 32));
+  EXPECT_FALSE(csrEdgeCountValid(static_cast<std::size_t>(-1)));
+  // The worst case buildCsr validates is the symmetrized count: an input
+  // half the limit is the last one symmetrization-safe.
+  EXPECT_TRUE(csrEdgeCountValid((Max / 2) * 2));
+  EXPECT_FALSE(csrEdgeCountValid((Max / 2 + 1) * 2));
 }
 
 TEST(CsrFootprint, CountsAllArrays) {
@@ -265,6 +287,172 @@ TEST(Loaders, BinaryRejectsCorruptHeader) {
     F << "NOPE-definitely-not-a-csr-file";
   }
   EXPECT_FALSE(loadBinaryCsr(Path).has_value());
+}
+
+/// Mirror of the cache file header (kept private in Loader.cpp) so the
+/// rejection tests can craft adversarial files.
+struct TestBinaryHeader {
+  char Magic[4];
+  std::uint32_t Version;
+  std::int32_t NumNodes;
+  std::int32_t NumEdges;
+  std::uint32_t HasWeights;
+};
+
+TEST(Loaders, BinaryRejectsTruncatedFile) {
+  Csr G = rmatGraph(8, 6, 5);
+  std::string Path = tempPath("trunc.egcs");
+  ASSERT_TRUE(saveBinaryCsr(G, Path));
+  std::string Bytes;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    Bytes.assign(std::istreambuf_iterator<char>(In),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(Bytes.size(), sizeof(TestBinaryHeader));
+  {
+    // Cut into the middle of the CSR payload.
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size() / 2));
+  }
+  EXPECT_FALSE(loadBinaryCsr(Path).has_value());
+  EXPECT_FALSE(loadBinaryGraph(Path).has_value());
+}
+
+TEST(Loaders, BinaryRejectsWrongMagicAndVersion) {
+  Csr G = buildCsr(2, {{0, 1, 0}});
+  std::string Path = tempPath("tampered.egcs");
+  ASSERT_TRUE(saveBinaryCsr(G, Path));
+  std::string Bytes;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    Bytes.assign(std::istreambuf_iterator<char>(In),
+                 std::istreambuf_iterator<char>());
+  }
+
+  std::string WrongMagic = Bytes;
+  WrongMagic[0] = 'X';
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(WrongMagic.data(),
+              static_cast<std::streamsize>(WrongMagic.size()));
+  }
+  EXPECT_FALSE(loadBinaryCsr(Path).has_value());
+
+  std::string WrongVersion = Bytes;
+  std::uint32_t Future = 99;
+  std::memcpy(WrongVersion.data() + 4, &Future, sizeof(Future));
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(WrongVersion.data(),
+              static_cast<std::streamsize>(WrongVersion.size()));
+  }
+  EXPECT_FALSE(loadBinaryCsr(Path).has_value());
+  EXPECT_FALSE(loadBinaryGraph(Path).has_value());
+}
+
+TEST(Loaders, BinaryStillReadsVersion1Files) {
+  // A v1 file is the bare header + CSR payload, no SELL trailer.
+  Csr G = buildCsr(3, {{0, 1, 7}, {1, 2, 9}});
+  std::string Path = tempPath("v1.egcs");
+  {
+    std::ofstream F(Path, std::ios::binary);
+    TestBinaryHeader H{{'E', 'G', 'C', 'S'},
+                       1,
+                       G.numNodes(),
+                       G.numEdges(),
+                       G.hasWeights() ? 1u : 0u};
+    F.write(reinterpret_cast<const char *>(&H), sizeof(H));
+    F.write(reinterpret_cast<const char *>(G.rowStart()),
+            static_cast<std::streamsize>((G.numNodes() + 1) *
+                                         sizeof(EdgeId)));
+    F.write(reinterpret_cast<const char *>(G.edgeDst()),
+            static_cast<std::streamsize>(G.numEdges() * sizeof(NodeId)));
+    F.write(reinterpret_cast<const char *>(G.edgeWeight()),
+            static_cast<std::streamsize>(G.numEdges() * sizeof(Weight)));
+  }
+  auto Loaded = loadBinaryGraph(Path);
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_FALSE(Loaded->Sell.has_value()) << "v1 files carry no SELL image";
+  EXPECT_EQ(Loaded->G.numNodes(), 3);
+  EXPECT_EQ(Loaded->G.numEdges(), 2);
+  EXPECT_EQ(Loaded->G.weights(1)[0], 9);
+}
+
+TEST(Loaders, BinaryV2RoundTripsSellImage) {
+  Csr G = rmatGraph(9, 8, 7);
+  SellImage Img = buildSellImage(G, 8, 64);
+  std::string Path = tempPath("graph_sell.egcs");
+  ASSERT_TRUE(saveBinaryCsr(G, Path, &Img));
+
+  auto Loaded = loadBinaryGraph(Path);
+  ASSERT_TRUE(Loaded.has_value());
+  ASSERT_TRUE(Loaded->Sell.has_value());
+  EXPECT_EQ(Loaded->Sell->Chunk, 8);
+  EXPECT_EQ(Loaded->Sell->Sigma, 64);
+
+  // The restored image must match a freshly built one bit for bit.
+  SellImage Fresh = buildSellImage(G, 8, 64);
+  const SellImage &Got = *Loaded->Sell;
+  ASSERT_EQ(Got.paddedSlots(), Fresh.paddedSlots());
+  ASSERT_EQ(Got.numChunks(), Fresh.numChunks());
+  ASSERT_EQ(Got.storedEntries(), Fresh.storedEntries());
+  for (std::size_t I = 0; I < Fresh.Order.size(); ++I) {
+    EXPECT_EQ(Got.Order[I], Fresh.Order[I]);
+    EXPECT_EQ(Got.SlotDeg[I], Fresh.SlotDeg[I]);
+  }
+  for (std::size_t I = 0; I < Fresh.SliceOff.size(); ++I)
+    EXPECT_EQ(Got.SliceOff[I], Fresh.SliceOff[I]);
+  for (std::size_t I = 0; I < Fresh.SellDst.size(); ++I) {
+    EXPECT_EQ(Got.SellDst[I], Fresh.SellDst[I]);
+    EXPECT_EQ(Got.SellEdge[I], Fresh.SellEdge[I]);
+  }
+
+  // A view adopting the restored image works against the restored CSR.
+  SellView Restored(Loaded->G, std::move(*Loaded->Sell));
+  EXPECT_EQ(Restored.storedEntries(), Fresh.storedEntries());
+
+  // loadBinaryCsr skips the trailer but still reads the CSR.
+  auto Plain = loadBinaryCsr(Path);
+  ASSERT_TRUE(Plain.has_value());
+  EXPECT_EQ(Plain->numEdges(), G.numEdges());
+}
+
+TEST(Loaders, ParseFailuresNameFileAndLine) {
+  // The loaders return nullopt on malformed input; the diagnostics
+  // themselves go to stderr (captured manually when debugging). These
+  // cases exercise each early-exit path.
+  std::string Bad = tempPath("bad_arc.gr");
+  {
+    std::ofstream F(Bad);
+    F << "p sp 2 1\n";
+    F << "a 1 notanumber\n";
+  }
+  EXPECT_FALSE(loadDimacs(Bad).has_value());
+
+  std::string OutOfRange = tempPath("bad_range.gr");
+  {
+    std::ofstream F(OutOfRange);
+    F << "p sp 2 1\n";
+    F << "a 1 5 3\n";
+  }
+  EXPECT_FALSE(loadDimacs(OutOfRange).has_value());
+
+  std::string NoHeader = tempPath("no_header.gr");
+  {
+    std::ofstream F(NoHeader);
+    F << "a 1 2 3\n";
+  }
+  EXPECT_FALSE(loadDimacs(NoHeader).has_value());
+
+  std::string BadEdge = tempPath("bad_edge.txt");
+  {
+    std::ofstream F(BadEdge);
+    F << "0 1\n";
+    F << "only-one-token\n";
+  }
+  EXPECT_FALSE(loadEdgeList(BadEdge).has_value());
+  EXPECT_FALSE(loadEdgeList("/nonexistent/edges.txt").has_value());
 }
 
 } // namespace

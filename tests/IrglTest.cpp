@@ -151,6 +151,38 @@ TEST(IrglCodeGen, AtomicMinBindsWonMask) {
   EXPECT_TRUE(contains(Cpp, "& M_won;"));
 }
 
+TEST(IrglCodeGen, KernelsAreLayoutTemplated) {
+  // The emitted kernels and pipes take any GraphView; worklist sweeps pass
+  // NoSlot to the edge loops (push order), node sweeps thread the live
+  // slot through so SELL layouts can use contiguous loads.
+  Program P = buildBfsProgram();
+  runPasses(P, OptimizationBundle::all());
+  std::string Cpp = emitCpp(P);
+  EXPECT_TRUE(contains(Cpp, "template <typename BK, typename GV>"));
+  EXPECT_TRUE(contains(Cpp, "const GV &G"));
+  EXPECT_TRUE(contains(Cpp, "TL.Np, EdgeFn_0, egacs::NoSlot);"));
+
+  Program Q = buildBfsTpProgram();
+  runPasses(Q, OptimizationBundle::all());
+  std::string Tp = emitCpp(Q);
+  EXPECT_TRUE(contains(Tp, "std::int64_t Slot"));
+  EXPECT_TRUE(contains(Tp, "TL.Np, EdgeFn_0, Slot);"));
+}
+
+TEST(IrglCodeGen, LayoutKnobSelectsAutoDriverLayout) {
+  Program P = buildBfsProgram();
+  std::string Cpp = emitCpp(P);
+  EXPECT_TRUE(contains(Cpp, "bfs_pipe_run_auto"));
+  EXPECT_TRUE(contains(Cpp, "AnyLayout::build(LayoutKind::Csr, G, LOpts)"));
+
+  CodeGenOptions Opts;
+  Opts.Layout = egacs::LayoutKind::Sell;
+  std::string Sell = emitCpp(P, Opts);
+  EXPECT_TRUE(contains(Sell, "AnyLayout::build(LayoutKind::Sell, G, LOpts)"));
+  EXPECT_TRUE(contains(Sell, "LOpts.SellChunk = BK::Width;"));
+  EXPECT_TRUE(contains(Sell, "LOpts.SellSigma = Cfg.SellSigma;"));
+}
+
 //===----------------------------------------------------------------------===//
 // End-to-end: compile the generated BFS with the host compiler and run it.
 //===----------------------------------------------------------------------===//
@@ -160,16 +192,18 @@ TEST(IrglCodeGen, AtomicMinBindsWonMask) {
 /// must return non-zero on mismatch.
 void compileAndRun(const std::string &TestName, Program P,
                    const OptimizationBundle &Bundle,
-                   const std::string &DriverBody) {
+                   const std::string &DriverBody,
+                   const CodeGenOptions &Opts = {}) {
 #if !defined(EGACS_SRC_DIR) || !defined(EGACS_LIB_PATH)
   (void)TestName;
   (void)P;
   (void)Bundle;
   (void)DriverBody;
+  (void)Opts;
   GTEST_SKIP() << "build paths not configured";
 #else
   runPasses(P, Bundle);
-  std::string Generated = emitCpp(P);
+  std::string Generated = emitCpp(P, Opts);
 
   std::string Dir = ::testing::TempDir();
   std::string GenPath = Dir + "/egacs_gen_" + TestName + ".h";
@@ -292,6 +326,45 @@ TEST(IrglEndToEnd, GeneratedCcCompilesAndMatchesOracle) {
       return 1;
   return 0;
 )cpp");
+}
+
+TEST(IrglEndToEnd, GeneratedSellLayoutBfsMatchesOracle) {
+  // --layout=sell: the auto driver builds a SELL-C-sigma image with
+  // C = BK::Width; the topology sweep's aligned slots take the
+  // contiguous-load fast path in npForEachEdge.
+  CodeGenOptions Opts;
+  Opts.Layout = egacs::LayoutKind::Sell;
+  compileAndRun("bfstp_sell", buildBfsTpProgram(), OptimizationBundle::all(),
+                R"cpp(
+  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
+                                 InfDist);
+  Dist[0] = 0;
+  egacs::gen::bfstp_State State;
+  State.dist = Dist.data();
+  SerialTaskSystem TS;
+  KernelConfig Cfg = KernelConfig::allOptimizations(TS, 1);
+  egacs::gen::bfstp_pipe_run_auto<simd::ScalarBackend<8>>(G, Cfg, State, 0);
+  return Dist == refBfs(G, 0) ? 0 : 1;
+)cpp",
+                Opts);
+}
+
+TEST(IrglEndToEnd, GeneratedHubLayoutBfsMatchesOracle) {
+  CodeGenOptions Opts;
+  Opts.Layout = egacs::LayoutKind::HubCsr;
+  compileAndRun("bfstp_hub", buildBfsTpProgram(), OptimizationBundle::all(),
+                R"cpp(
+  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
+                                 InfDist);
+  Dist[0] = 0;
+  egacs::gen::bfstp_State State;
+  State.dist = Dist.data();
+  SerialTaskSystem TS;
+  KernelConfig Cfg = KernelConfig::allOptimizations(TS, 1);
+  egacs::gen::bfstp_pipe_run_auto<simd::ScalarBackend<8>>(G, Cfg, State, 0);
+  return Dist == refBfs(G, 0) ? 0 : 1;
+)cpp",
+                Opts);
 }
 
 TEST(IrglEndToEnd, GeneratedSsspCompilesAndMatchesOracle) {
