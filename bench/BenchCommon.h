@@ -24,6 +24,11 @@
 ///   --layout=S  csr|hubcsr|sell graph layout the kernels consume
 ///               (default csr)
 ///   --sigma=N   SELL-C-sigma sorting window in nodes (default 4096)
+///   --prefetch=S none|rows|rows+props staged-loop prefetch policy
+///               (default none, the exact pre-pipeline loops)
+///   --pfdist=N  row-stage prefetch lookahead in vectors (default 8)
+///   --json=P    also write the harness's measurements to P as JSON
+///               (machine-readable perf trajectories)
 ///   --verify=0  skip output verification for faster sweeps
 ///
 /// or the equivalent EGACS_* environment variables.
@@ -44,8 +49,10 @@
 #include "support/Timer.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace egacs::bench {
@@ -71,6 +78,9 @@ struct BenchEnv {
   UpdatePolicy Update;
   LayoutKind Layout;
   std::int32_t SellSigma;
+  PrefetchPolicy Prefetch;
+  int PrefetchDist;
+  std::string JsonPath;
   bool Verify;
 
   BenchEnv(int Argc, char **Argv)
@@ -86,6 +96,9 @@ struct BenchEnv {
         Update(parseUpdatePolicy(Opts.getString("update", "atomic"))),
         Layout(parseLayoutKind(Opts.getString("layout", "csr"))),
         SellSigma(static_cast<std::int32_t>(Opts.getInt("sigma", 1 << 12))),
+        Prefetch(parsePrefetchPolicy(Opts.getString("prefetch", "none"))),
+        PrefetchDist(static_cast<int>(Opts.getInt("pfdist", 8))),
+        JsonPath(Opts.getString("json", "")),
         Verify(Opts.getBool("verify", true)) {
     if (NumTasks < 1)
       NumTasks = 1;
@@ -110,7 +123,100 @@ struct BenchEnv {
     Cfg.Update = Update;
     Cfg.Layout = Layout;
     Cfg.SellSigma = SellSigma;
+    Cfg.Prefetch = Prefetch;
+    Cfg.PrefetchDist = PrefetchDist;
   }
+};
+
+/// Machine-readable measurement output for the ablation harnesses
+/// (--json=<path>). Rows mirror the printed table: named columns, one cell
+/// list per record call. Cells that parse fully as numbers are emitted as
+/// JSON numbers, everything else as strings. The file is written when the
+/// log is destroyed (end of main); an empty path disables the log.
+class JsonLog {
+public:
+  explicit JsonLog(std::string Path) : Path(std::move(Path)) {}
+  ~JsonLog() { write(); }
+  JsonLog(const JsonLog &) = delete;
+  JsonLog &operator=(const JsonLog &) = delete;
+
+  bool enabled() const { return !Path.empty(); }
+
+  /// Attaches a top-level key/value pair (harness name, scale, ...).
+  void meta(const std::string &Key, const std::string &Value) {
+    Meta.emplace_back(Key, Value);
+  }
+
+  void setColumns(std::vector<std::string> Cols) { Columns = std::move(Cols); }
+
+  void record(std::vector<std::string> Cells) {
+    Rows.push_back(std::move(Cells));
+  }
+
+private:
+  static bool numeric(const std::string &S) {
+    if (S.empty())
+      return false;
+    char *End = nullptr;
+    std::strtod(S.c_str(), &End);
+    return End != nullptr && *End == '\0';
+  }
+
+  static void appendEscaped(std::string &Out, const std::string &S) {
+    Out += '"';
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      Out += C;
+    }
+    Out += '"';
+  }
+
+  static void appendCell(std::string &Out, const std::string &S) {
+    if (numeric(S))
+      Out += S;
+    else
+      appendEscaped(Out, S);
+  }
+
+  void write() const {
+    if (Path.empty())
+      return;
+    std::string Out = "{\n  \"meta\": {";
+    for (std::size_t I = 0; I < Meta.size(); ++I) {
+      Out += I ? ", " : "";
+      appendEscaped(Out, Meta[I].first);
+      Out += ": ";
+      appendCell(Out, Meta[I].second);
+    }
+    Out += "},\n  \"columns\": [";
+    for (std::size_t I = 0; I < Columns.size(); ++I) {
+      Out += I ? ", " : "";
+      appendEscaped(Out, Columns[I]);
+    }
+    Out += "],\n  \"rows\": [";
+    for (std::size_t R = 0; R < Rows.size(); ++R) {
+      Out += R ? ",\n    [" : "\n    [";
+      for (std::size_t I = 0; I < Rows[R].size(); ++I) {
+        Out += I ? ", " : "";
+        appendCell(Out, Rows[R][I]);
+      }
+      Out += "]";
+    }
+    Out += "\n  ]\n}\n";
+    if (std::FILE *F = std::fopen(Path.c_str(), "w")) {
+      std::fwrite(Out.data(), 1, Out.size(), F);
+      std::fclose(F);
+    } else {
+      std::fprintf(stderr, "warning: cannot write --json file '%s'\n",
+                   Path.c_str());
+    }
+  }
+
+  std::string Path;
+  std::vector<std::pair<std::string, std::string>> Meta;
+  std::vector<std::string> Columns;
+  std::vector<std::vector<std::string>> Rows;
 };
 
 /// Prepares one named input at the harness scale.

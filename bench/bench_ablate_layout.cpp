@@ -113,6 +113,13 @@ int main(int Argc, char **Argv) {
   std::printf("target: %s (C=%d), sigma=%d\n\n", targetName(Target), Chunk,
               Env.SellSigma);
 
+  JsonLog Json(Env.JsonPath);
+  Json.meta("harness", "bench_ablate_layout");
+  Json.meta("scale", std::to_string(Env.Scale));
+  Json.meta("tasks", std::to_string(Env.NumTasks));
+  Json.setColumns({"input", "kernel", "layout", "wall_ms", "gather_lanes",
+                   "contig_lanes", "contig_pct"});
+
   // Tri is excluded: it wants destination-sorted adjacency and the layouts
   // here are built over the plain graph.
   const KernelKind Kernels[] = {KernelKind::BfsTp, KernelKind::Cc,
@@ -170,6 +177,10 @@ int main(int Argc, char **Argv) {
                   Table::fmt(BuildMs[LI], 2),
                   Table::fmt(L.layoutAuxBytes() / (1024.0 * 1024.0), 2),
                   SV ? Table::fmt(SV->paddingOverheadPercent(), 1) : "-"});
+        Json.record({In.Name, kernelName(Kind), layoutName(LK),
+                     Table::fmt(M.WallMs, 3), Table::fmt(M.GatherLanes),
+                     Table::fmt(M.ContigLanes),
+                     Table::fmt(M.contigPercent(), 1)});
       }
 
       if (CheckStats && In.Name == "rmat" &&

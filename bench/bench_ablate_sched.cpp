@@ -57,6 +57,13 @@ int main(int Argc, char **Argv) {
   TargetKind Target = bestTarget();
   auto TS = Env.makeTs();
 
+  JsonLog Json(Env.JsonPath);
+  Json.meta("harness", "bench_ablate_sched");
+  Json.meta("scale", std::to_string(Env.Scale));
+  Json.meta("tasks", std::to_string(Env.NumTasks));
+  Json.setColumns({"input", "kernel", "sched", "wall_ms", "crit_ms",
+                   "balance_pct", "chunks", "stolen", "steal_fail"});
+
   const KernelKind Kernels[] = {KernelKind::Pr, KernelKind::Tri,
                                 KernelKind::Cc, KernelKind::BfsWl};
   const PolicyCase Cases[] = {
@@ -129,6 +136,15 @@ int main(int Argc, char **Argv) {
                              static_cast<std::uint64_t>(Env.Reps)),
                   Table::fmt(D.get(Stat::StealFailures) /
                              static_cast<std::uint64_t>(Env.Reps))});
+        Json.record({In.Name, kernelName(Kind), C.name(),
+                     Table::fmt(Wall, 3), Table::fmt(Crit / 1e6, 3),
+                     Table::fmt(Balance, 1),
+                     Table::fmt(D.get(Stat::ChunksDispatched) /
+                                static_cast<std::uint64_t>(Env.Reps)),
+                     Table::fmt(D.get(Stat::ChunksStolen) /
+                                static_cast<std::uint64_t>(Env.Reps)),
+                     Table::fmt(D.get(Stat::StealFailures) /
+                                static_cast<std::uint64_t>(Env.Reps))});
       }
     }
     T.print();

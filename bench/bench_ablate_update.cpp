@@ -103,6 +103,14 @@ int main(int Argc, char **Argv) {
   TargetKind Target = bestTarget();
   auto TS = Env.makeTs();
 
+  JsonLog Json(Env.JsonPath);
+  Json.meta("harness", "bench_ablate_update");
+  Json.meta("scale", std::to_string(Env.Scale));
+  Json.meta("tasks", std::to_string(Env.NumTasks));
+  Json.setColumns({"input", "kernel", "update", "wall_ms", "cas_att",
+                   "cas_fail", "saved", "binned", "sc_crit_ms",
+                   "mg_crit_ms"});
+
   const UpdatePolicy AllPolicies[] = {
       UpdatePolicy::Atomic, UpdatePolicy::Combined, UpdatePolicy::Privatized,
       UpdatePolicy::Blocked};
@@ -157,6 +165,13 @@ int main(int Argc, char **Argv) {
                   Table::fmt(M.Binned),
                   critCell(M.ScatterCritNs, Atomic.ScatterCritNs),
                   critCell(M.MergeCritNs, 0)});
+        Json.record(
+            {In.Name, kernelName(Kind), updatePolicyName(P),
+             Table::fmt(M.WallMs, 3), Table::fmt(M.CasAttempts),
+             Table::fmt(M.CasFailures), Table::fmt(M.Saved),
+             Table::fmt(M.Binned),
+             Table::fmt(static_cast<double>(M.ScatterCritNs) / 1e6, 3),
+             Table::fmt(static_cast<double>(M.MergeCritNs) / 1e6, 3)});
       }
 
       if (CheckStats && IsAccum && In.Name == "rmat") {

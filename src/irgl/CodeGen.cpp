@@ -8,7 +8,12 @@
 #include "irgl/CodeGen.h"
 
 #include <cassert>
+#include <cstring>
+#include <functional>
 #include <map>
+#include <set>
+#include <utility>
+#include <vector>
 
 using namespace egacs::irgl;
 
@@ -71,8 +76,10 @@ public:
       // Node sweeps run in layout (slot) order: the view's
       // forEachNodeSlice hands the body the node ids of each vector plus
       // the slot index, which SELL-sliced layouts use to take the
-      // contiguous-load fast path in the edge loops below.
-      open("forEachNodeSlice<BK>(G, Sched, TaskIdx, TaskCount, "
+      // contiguous-load fast path in the edge loops below. The staged
+      // overload threads the kernel's prefetch plan through the sweep (an
+      // inactive plan is the exact unstaged loop).
+      open("forEachNodeSlice<BK>(G, Sched, TaskIdx, TaskCount, PF, TL.Pf, "
            "[&](VInt<BK> V_" +
            S.Var + ", VMask<BK> M_outer, std::int64_t Slot) {");
       line("(void)Slot;");
@@ -85,9 +92,10 @@ public:
     }
     case Stmt::Kind::ForAllItems: {
       // Worklist items arrive in push order, not layout order: edge loops
-      // below must use the gather path (NoSlot).
-      open("forEachWorklistSlice<BK>(Cfg, Sched, In.items(), In.size(), "
-           "TaskIdx, TaskCount, [&](VInt<BK> V_" +
+      // below must use the gather path (NoSlot). The staged overload runs
+      // the prefetch pipeline over the item stream.
+      open("forEachWorklistSlice<BK>(Cfg, G, Sched, In.items(), In.size(), "
+           "TaskIdx, TaskCount, PF, TL.Pf, [&](VInt<BK> V_" +
            S.Var + ", VMask<BK> M_outer) {");
       std::string Saved = SlotSym;
       SlotSym = "egacs::NoSlot";
@@ -225,6 +233,76 @@ const char *layoutEnumName(egacs::LayoutKind K) {
   return "Csr";
 }
 
+/// Classifies every State-array reference of \p K by the variable indexing
+/// it (loop node, edge destination, or CSR edge index) and renders the
+/// kernel's prefetch-plan construction: kernelPrefetchPlan(Cfg) plus one
+/// PF.addProp per distinct (array, index shape) pair. References indexed by
+/// computed expressions are skipped — the inspect stages only follow index
+/// streams readable from topology alone.
+void emitPrefetchPlan(std::string &Out, const Program &P, const Kernel &K) {
+  std::set<std::string> NodeVars, DstVars, EdgeVars;
+  const_cast<Kernel &>(K).walk([&](Stmt &S) {
+    switch (S.kind()) {
+    case Stmt::Kind::ForAllNodes:
+    case Stmt::Kind::ForAllItems:
+      NodeVars.insert(S.Var);
+      break;
+    case Stmt::Kind::ForAllEdges:
+      NodeVars.insert(S.Var);
+      DstVars.insert(S.DstVar);
+      EdgeVars.insert(S.EdgeVar);
+      break;
+    default:
+      break;
+    }
+  });
+
+  std::vector<std::pair<std::string, const char *>> Props;
+  auto addRef = [&](const std::string &Array, const char *Kind) {
+    for (const auto &Pr : Props)
+      if (Pr.first == Array && std::strcmp(Pr.second, Kind) == 0)
+        return;
+    Props.emplace_back(Array, Kind);
+  };
+  auto classify = [&](const std::string &Array, const Expr &Idx) {
+    if (Idx.kind() != Expr::Kind::Var)
+      return;
+    if (DstVars.count(Idx.name()))
+      addRef(Array, "Dst");
+    else if (EdgeVars.count(Idx.name()))
+      addRef(Array, "Edge");
+    else if (NodeVars.count(Idx.name()))
+      addRef(Array, "Node");
+  };
+  std::function<void(const Expr &)> scanExpr = [&](const Expr &E) {
+    if (E.kind() == Expr::Kind::ArrayLoad)
+      classify(E.name(), E.operand(0));
+    for (unsigned I = 0; I < E.numOperands(); ++I)
+      scanExpr(E.operand(I));
+  };
+  const_cast<Kernel &>(K).walk([&](Stmt &S) {
+    if (S.Cond)
+      scanExpr(*S.Cond);
+    if (S.Index) {
+      classify(S.Array, *S.Index);
+      scanExpr(*S.Index);
+    }
+    if (S.Value)
+      scanExpr(*S.Value);
+  });
+
+  Out += "  PrefetchPlan PF = kernelPrefetchPlan(Cfg);\n";
+  for (const auto &Pr : Props) {
+    std::string ElemType = "std::int32_t";
+    for (const ArrayDecl &A : P.Arrays)
+      if (A.Name == Pr.first)
+        ElemType = A.ElemType;
+    Out += "  PF.addProp(State." + Pr.first + ", static_cast<int>(sizeof(" +
+           ElemType + ")), PrefetchIndexKind::" + Pr.second + ");\n";
+  }
+  Out += "  TL.armPrefetch(PF);\n";
+}
+
 void emitKernel(std::string &Out, const Program &P, const Kernel &K) {
   Out += "/// Kernel " + K.Name;
   if (K.UseFibers)
@@ -237,6 +315,7 @@ void emitKernel(std::string &Out, const Program &P, const Kernel &K) {
          "std::int32_t &Changed, int TaskIdx, int TaskCount) {\n";
   Out += "  using namespace egacs::simd;\n";
   Out += "  (void)Sched; (void)In; (void)Out; (void)TL; (void)Changed;\n";
+  emitPrefetchPlan(Out, P, K);
   if (K.Topology)
     Out += "  std::int32_t ChangedCount = 0;\n";
   Emitter E(Out, P, K.Topology);

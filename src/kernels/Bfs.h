@@ -42,8 +42,10 @@ template <typename BK, typename VT>
 void bfsSparseRound(const KernelConfig &Cfg, LoopScheduler &Sched,
                     const VT &G, std::int32_t *Dist, std::int32_t NextLevel,
                     const Worklist &In, Worklist &Out, TaskLocal &TL,
-                    int TaskIdx, int TaskCount, bool FiberLevelCc) {
+                    int TaskIdx, int TaskCount, bool FiberLevelCc,
+                    const PrefetchPlan &PF) {
   using namespace simd;
+  TL.armPrefetch(PF);
   LocalPushBuffer *Local = FiberLevelCc && Cfg.Fibers ? &TL.Local : nullptr;
   VInt<BK> Next = splat<BK>(NextLevel);
   auto OnEdge = [&](VInt<BK>, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
@@ -51,14 +53,24 @@ void bfsSparseRound(const KernelConfig &Cfg, LoopScheduler &Sched,
     if (any(Won))
       pushFrontier<BK>(Cfg, Out, Local, Dst, Won);
   };
-  forEachWorklistSlice<BK>(Cfg, Sched, In.items(), In.size(), TaskIdx,
-                           TaskCount,
+  forEachWorklistSlice<BK>(Cfg, G, Sched, In.items(), In.size(), TaskIdx,
+                           TaskCount, PF, TL.Pf,
                            [&](VInt<BK> Node, VMask<BK> Act) {
                              visitEdges<BK>(Cfg, G, Node, Act, TL.Np, OnEdge);
                            });
   flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
   if (Local)
     Local->flush(Out);
+}
+
+/// The sparse-round prefetch plan: the distance array is touched through
+/// the destination gathers of the min-relaxation.
+inline PrefetchPlan bfsPlan(const KernelConfig &Cfg,
+                            const std::int32_t *Dist) {
+  PrefetchPlan PF = kernelPrefetchPlan(Cfg);
+  PF.addProp(Dist, static_cast<int>(sizeof(std::int32_t)),
+             PrefetchIndexKind::Dst);
+  return PF;
 }
 
 } // namespace bfs_detail
@@ -77,6 +89,7 @@ std::vector<std::int32_t> bfsWl(const VT &G, const KernelConfig &Cfg,
   WL.in().pushSerial(Source);
   auto Locals = makeTaskLocals(Cfg);
   auto Sched = makeLoopScheduler(Cfg, G.numNodes() + 64);
+  PrefetchPlan PF = bfs_detail::bfsPlan(Cfg, Dist.data());
   std::int32_t Level = 0;
 
   runPipe(
@@ -85,7 +98,7 @@ std::vector<std::int32_t> bfsWl(const VT &G, const KernelConfig &Cfg,
         bfs_detail::bfsSparseRound<BK>(Cfg, *Sched, G, Dist.data(), Level + 1,
                                    WL.in(), WL.out(), *Locals[TaskIdx],
                                    TaskIdx, TaskCount,
-                                   /*FiberLevelCc=*/false);
+                                   /*FiberLevelCc=*/false, PF);
       }),
       [&] {
         WL.swap();
@@ -113,6 +126,7 @@ std::vector<std::int32_t> bfsCx(const VT &G, const KernelConfig &Cfg,
   auto Locals = makeTaskLocals(
       Cfg, static_cast<std::size_t>(G.numNodes()) / Cfg.NumTasks + 4096);
   auto Sched = makeLoopScheduler(Cfg, G.numNodes() + 64);
+  PrefetchPlan PF = bfs_detail::bfsPlan(Cfg, Dist.data());
   std::int32_t Level = 0;
 
   runPipe(
@@ -121,7 +135,7 @@ std::vector<std::int32_t> bfsCx(const VT &G, const KernelConfig &Cfg,
         bfs_detail::bfsSparseRound<BK>(Cfg, *Sched, G, Dist.data(), Level + 1,
                                    WL.in(), WL.out(), *Locals[TaskIdx],
                                    TaskIdx, TaskCount,
-                                   /*FiberLevelCc=*/true);
+                                   /*FiberLevelCc=*/true, PF);
       }),
       [&] {
         WL.swap();
@@ -144,6 +158,11 @@ std::vector<std::int32_t> bfsTp(const VT &G, const KernelConfig &Cfg,
 
   auto Locals = makeTaskLocals(Cfg);
   auto Sched = makeLoopScheduler(Cfg, G.numNodes());
+  // Topology-driven rounds also gather Dist[Node] for the level filter, so
+  // the distance array is hot through both index shapes.
+  PrefetchPlan PF = bfs_detail::bfsPlan(Cfg, Dist.data());
+  PF.addProp(Dist.data(), static_cast<int>(sizeof(std::int32_t)),
+             PrefetchIndexKind::Node);
   std::int32_t Level = 0;
   std::int32_t Expanded = 0; // relaxations performed in the last round
 
@@ -151,6 +170,7 @@ std::vector<std::int32_t> bfsTp(const VT &G, const KernelConfig &Cfg,
       Cfg,
       TaskFn([&](int TaskIdx, int TaskCount) {
         TaskLocal &TL = *Locals[TaskIdx];
+        TL.armPrefetch(PF);
         std::int32_t LocalWins = 0;
         VInt<BK> Cur = splat<BK>(Level);
         VInt<BK> Next = splat<BK>(Level + 1);
@@ -160,7 +180,7 @@ std::vector<std::int32_t> bfsTp(const VT &G, const KernelConfig &Cfg,
           LocalWins += popcount(Won);
         };
         forEachNodeSlice<BK>(
-            G, *Sched, TaskIdx, TaskCount,
+            G, *Sched, TaskIdx, TaskCount, PF, TL.Pf,
             [&](VInt<BK> Node, VMask<BK> Act, std::int64_t Slot) {
               VMask<BK> OnLevel =
                   Act & (gather<BK>(Dist.data(), Node, Act) == Cur);
@@ -198,6 +218,9 @@ std::vector<std::int32_t> bfsHb(const VT &G, const KernelConfig &Cfg,
   auto Locals = makeTaskLocals(
       Cfg, static_cast<std::size_t>(G.numNodes()) / Cfg.NumTasks + 4096);
   auto Sched = makeLoopScheduler(Cfg, G.numNodes() + 64);
+  PrefetchPlan PF = bfs_detail::bfsPlan(Cfg, Dist.data());
+  PF.addProp(Dist.data(), static_cast<int>(sizeof(std::int32_t)),
+             PrefetchIndexKind::Node);
   std::int32_t Level = 0;
   bool Dense = false;
 
@@ -209,11 +232,12 @@ std::vector<std::int32_t> bfsHb(const VT &G, const KernelConfig &Cfg,
           bfs_detail::bfsSparseRound<BK>(Cfg, *Sched, G, Dist.data(),
                                      Level + 1, WL.in(), WL.out(), TL,
                                      TaskIdx, TaskCount,
-                                     /*FiberLevelCc=*/true);
+                                     /*FiberLevelCc=*/true, PF);
           return;
         }
         // Dense round: expand every node on the current level; the next
         // frontier is still materialized so a later sparse round can run.
+        TL.armPrefetch(PF);
         LocalPushBuffer *Local = Cfg.Fibers ? &TL.Local : nullptr;
         VInt<BK> Cur = splat<BK>(Level);
         VInt<BK> Next = splat<BK>(Level + 1);
@@ -224,7 +248,7 @@ std::vector<std::int32_t> bfsHb(const VT &G, const KernelConfig &Cfg,
             pushFrontier<BK>(Cfg, WL.out(), Local, Dst, Won);
         };
         forEachNodeSlice<BK>(
-            G, *Sched, TaskIdx, TaskCount,
+            G, *Sched, TaskIdx, TaskCount, PF, TL.Pf,
             [&](VInt<BK> Node, VMask<BK> Act, std::int64_t Slot) {
               VMask<BK> OnLevel =
                   Act & (gather<BK>(Dist.data(), Node, Act) == Cur);

@@ -43,11 +43,19 @@ std::vector<std::int32_t> connectedComponents(const VT &G,
     WL.in().pushSerial(N);
   auto Locals = makeTaskLocals(Cfg);
   auto Sched = makeLoopScheduler(Cfg, static_cast<std::int64_t>(Cap));
+  // Labels are gathered by source and min-scattered by destination, so the
+  // component array is registered through both index shapes.
+  PrefetchPlan PF = kernelPrefetchPlan(Cfg);
+  PF.addProp(Comp.data(), static_cast<int>(sizeof(std::int32_t)),
+             PrefetchIndexKind::Node);
+  PF.addProp(Comp.data(), static_cast<int>(sizeof(std::int32_t)),
+             PrefetchIndexKind::Dst);
 
   runPipe(
       Cfg,
       TaskFn([&](int TaskIdx, int TaskCount) {
         TaskLocal &TL = *Locals[TaskIdx];
+        TL.armPrefetch(PF);
         auto OnEdge = [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>,
                           VMask<BK> EAct) {
           VInt<BK> Label = gather<BK>(Comp.data(), Src, EAct);
@@ -59,8 +67,8 @@ std::vector<std::int32_t> connectedComponents(const VT &G,
           if (any(Won))
             pushFrontier<BK>(Cfg, WL.out(), nullptr, Dst, Won);
         };
-        forEachWorklistSlice<BK>(Cfg, *Sched, WL.in().items(), WL.in().size(),
-                                 TaskIdx, TaskCount,
+        forEachWorklistSlice<BK>(Cfg, G, *Sched, WL.in().items(),
+                                 WL.in().size(), TaskIdx, TaskCount, PF, TL.Pf,
                                  [&](VInt<BK> Node, VMask<BK> Act) {
                                    visitEdges<BK>(Cfg, G, Node, Act, TL.Np,
                                                   OnEdge);

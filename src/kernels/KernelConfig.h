@@ -20,6 +20,7 @@
 
 #include "graph/GraphView.h"
 #include "runtime/TaskSystem.h"
+#include "sched/Prefetch.h"
 #include "sched/UpdateEngine.h"
 #include "sched/WorkStealing.h"
 
@@ -79,6 +80,15 @@ struct KernelConfig {
   /// propagation-blocking bin. 16K float slots = 64 KiB, comfortably
   /// cache-resident during the merge pass.
   std::int64_t UpdateBlockNodes = 1 << 14;
+
+  // --- Prefetch pipeline (latency hiding for the irregular gathers) ------
+  /// What the staged vertex loops prefetch ahead of the execute stage
+  /// (sched/Prefetch.h): nothing (the exact pre-pipeline loops), row_ptr +
+  /// neighbor-slot lines, or those plus the kernel's hot property arrays.
+  PrefetchPolicy Prefetch = PrefetchPolicy::None;
+  /// Lookahead of the row inspect stage, in vectors; the edge stage trails
+  /// at half this distance. <= 0 inspects just before executing.
+  int PrefetchDist = 8;
 
   // --- Graph layout (storage the SIMD loops consume) ---------------------
   /// Which GraphView the runtime-dispatch entry points build when handed a

@@ -43,9 +43,16 @@ namespace egacs {
 struct TaskLocal {
   NpScratch Np;
   LocalPushBuffer Local;
+  /// Batched prefetch statistics; flushed to the global counters when the
+  /// task locals are destroyed at the end of the run.
+  PrefetchCounters Pf;
 
   TaskLocal(std::size_t NpCapacity, std::size_t LocalCapacity)
       : Np(NpCapacity), Local(LocalCapacity) {}
+
+  /// Arms this task's staged execution (NP staging buffer included) with
+  /// the kernel-run plan \p PF.
+  void armPrefetch(const PrefetchPlan &PF) { Np.setPrefetch(&PF, &Pf); }
 };
 
 /// Allocates per-task scratch for \p Cfg.NumTasks tasks.
@@ -108,6 +115,15 @@ void pushFrontier(const KernelConfig &Cfg, Worklist &Out,
   pushNaive<BK>(Out, Values, M);
 }
 
+/// Seeds a prefetch plan from Cfg's policy/distance knobs; kernels addProp
+/// their hot property arrays before entering the staged loops.
+inline PrefetchPlan kernelPrefetchPlan(const KernelConfig &Cfg) {
+  PrefetchPlan PF;
+  PF.Policy = Cfg.Prefetch;
+  PF.Dist = Cfg.PrefetchDist;
+  return PF;
+}
+
 /// Builds the LoopScheduler for one kernel run from Cfg's work-distribution
 /// knobs. \p MaxItems must bound the largest Size any scheduled loop of the
 /// run will see (worklist capacity for frontier sweeps, numNodes/numEdges
@@ -155,6 +171,68 @@ void forEachWorklistRange(const KernelConfig &Cfg, const NodeId *Items,
   }
 }
 
+/// Staged (prefetching) variant of forEachWorklistRange. Without fibers the
+/// range runs through forEachVectorStaged's two-distance pipeline; with
+/// fibers each fiber inspects its own upcoming steps — the round-robin
+/// stepping already spaces one fiber's vectors a full round apart in
+/// execution time, so the row stage runs two steps (two rounds) ahead and
+/// the edge stage one, independent of PF.Dist.
+template <typename BK, typename VT, typename BodyT>
+void forEachWorklistRangeStaged(const KernelConfig &Cfg, const VT &G,
+                                const NodeId *Items, std::int64_t TotalSize,
+                                std::int64_t Begin, std::int64_t End,
+                                int TaskCount, const PrefetchPlan &PF,
+                                PrefetchCounters &C, BodyT &&Body) {
+  if (!Cfg.Fibers) {
+    forEachVectorStaged<BK>(G, Items, Begin, End, PF, C, Body);
+    return;
+  }
+
+  int NumFibers = FiberConfig::numFibersPerTask(TotalSize, BK::Width,
+                                                TaskCount,
+                                                Cfg.MaxFibersPerTask);
+  std::int64_t RangeLen = End - Begin;
+  std::int64_t PerFiber = (RangeLen + NumFibers - 1) / NumFibers;
+  PerFiber = (PerFiber + BK::Width - 1) / BK::Width * BK::Width;
+  std::int64_t MaxSteps = (PerFiber + BK::Width - 1) / BK::Width;
+
+  // Inspects fiber F's vector at the given step, if it exists.
+  auto InspectRow = [&](int F, std::int64_t Step) {
+    std::int64_t S = Begin + F * PerFiber + Step * BK::Width;
+    std::int64_t FiberEnd = Begin + (F + 1) * PerFiber;
+    std::int64_t E = FiberEnd < End ? FiberEnd : End;
+    if (S < E)
+      prefetchRowStage<BK>(G, Items, S, E, PF, C);
+  };
+  auto InspectEdge = [&](int F, std::int64_t Step) {
+    std::int64_t S = Begin + F * PerFiber + Step * BK::Width;
+    std::int64_t FiberEnd = Begin + (F + 1) * PerFiber;
+    std::int64_t E = FiberEnd < End ? FiberEnd : End;
+    if (S < E)
+      prefetchEdgeStage<BK>(G, Items, S, E, PF, C);
+  };
+
+  for (int F = 0; F < NumFibers; ++F) {
+    InspectRow(F, 0);
+    InspectRow(F, 1);
+    InspectEdge(F, 0);
+  }
+  for (std::int64_t Step = 0; Step < MaxSteps; ++Step) {
+    for (int F = 0; F < NumFibers; ++F) {
+      std::int64_t FBegin = Begin + F * PerFiber + Step * BK::Width;
+      std::int64_t FiberEnd = Begin + (F + 1) * PerFiber;
+      std::int64_t FEnd = FiberEnd < End ? FiberEnd : End;
+      if (FBegin >= FEnd)
+        continue;
+      InspectRow(F, Step + 2);
+      InspectEdge(F, Step + 1);
+      std::int64_t VecEnd =
+          FBegin + BK::Width < FEnd ? FBegin + BK::Width : FEnd;
+      forEachVector<BK>(Items, FBegin, VecEnd, Body);
+    }
+  }
+}
+
 /// Iterates task \p TaskIdx's share of Items[0, Size), one vector at a
 /// time: Body(VInt Values, VMask Active). The share is whatever ranges
 /// \p Sched hands this task (the whole static block, or dynamic chunks);
@@ -170,6 +248,29 @@ void forEachWorklistSlice(const KernelConfig &Cfg, LoopScheduler &Sched,
                   });
 }
 
+/// Staged overload of forEachWorklistSlice: same iteration, but each
+/// scheduled range runs the inspect-executor prefetch pipeline against the
+/// graph view \p G under plan \p PF (an inactive plan falls back to the
+/// exact unstaged loop). \p C batches this task's prefetch statistics.
+template <typename BK, typename VT, typename BodyT>
+void forEachWorklistSlice(const KernelConfig &Cfg, const VT &G,
+                          LoopScheduler &Sched, const NodeId *Items,
+                          std::int64_t Size, int TaskIdx, int TaskCount,
+                          const PrefetchPlan &PF, PrefetchCounters &C,
+                          BodyT &&Body) {
+  if (!PF.active()) {
+    forEachWorklistSlice<BK>(Cfg, Sched, Items, Size, TaskIdx, TaskCount,
+                             Body);
+    return;
+  }
+  Sched.forRanges(Size, TaskIdx, TaskCount,
+                  [&](std::int64_t Begin, std::int64_t End) {
+                    forEachWorklistRangeStaged<BK>(Cfg, G, Items, Size, Begin,
+                                                   End, TaskCount, PF, C,
+                                                   Body);
+                  });
+}
+
 /// Iterates task \p TaskIdx's share of the view's node slots one vector at
 /// a time (topology-driven kernels), pulling ranges from \p Sched:
 /// Body(VInt NodeIds, VMask Active, int64 Slot). Node ids follow the
@@ -181,6 +282,23 @@ void forEachNodeSlice(const VT &G, LoopScheduler &Sched, int TaskIdx,
   Sched.forRanges(static_cast<std::int64_t>(G.numNodes()), TaskIdx, TaskCount,
                   [&](std::int64_t Begin, std::int64_t End) {
                     forEachNodeVector<BK>(G, Begin, End, Body);
+                  });
+}
+
+/// Staged overload of forEachNodeSlice: each scheduled range runs through
+/// forEachNodeVectorStaged's prefetch pipeline (an inactive plan falls back
+/// to the exact unstaged loop). \p C batches this task's statistics.
+template <typename BK, typename VT, typename BodyT>
+void forEachNodeSlice(const VT &G, LoopScheduler &Sched, int TaskIdx,
+                      int TaskCount, const PrefetchPlan &PF,
+                      PrefetchCounters &C, BodyT &&Body) {
+  if (!PF.active()) {
+    forEachNodeSlice<BK>(G, Sched, TaskIdx, TaskCount, Body);
+    return;
+  }
+  Sched.forRanges(static_cast<std::int64_t>(G.numNodes()), TaskIdx, TaskCount,
+                  [&](std::int64_t Begin, std::int64_t End) {
+                    forEachNodeVectorStaged<BK>(G, Begin, End, PF, C, Body);
                   });
 }
 

@@ -55,6 +55,17 @@ std::vector<std::int32_t> maximalIndependentSet(const VT &G,
     WL.in().pushSerial(I);
   auto Locals = makeTaskLocals(Cfg);
   auto Sched = makeLoopScheduler(Cfg, static_cast<std::int64_t>(Cap));
+  // The edge phases gather State and Prio through both endpoints (src via
+  // the worklist order, dst via the neighbor gather).
+  PrefetchPlan PF = kernelPrefetchPlan(Cfg);
+  PF.addProp(State.data(), static_cast<int>(sizeof(std::int32_t)),
+             PrefetchIndexKind::Node);
+  PF.addProp(State.data(), static_cast<int>(sizeof(std::int32_t)),
+             PrefetchIndexKind::Dst);
+  PF.addProp(Prio.data(), static_cast<int>(sizeof(std::int32_t)),
+             PrefetchIndexKind::Node);
+  PF.addProp(Prio.data(), static_cast<int>(sizeof(std::int32_t)),
+             PrefetchIndexKind::Dst);
 
   // Beats = true where (PrioA, IdA) > (PrioB, IdB).
   auto Beats = [&](VInt<BK> PrioA, VInt<BK> IdA, VInt<BK> PrioB,
@@ -72,6 +83,7 @@ std::vector<std::int32_t> maximalIndependentSet(const VT &G,
 
   TaskFn DemoteLosers = [&](int TaskIdx, int TaskCount) {
     TaskLocal &TL = *Locals[TaskIdx];
+    TL.armPrefetch(PF);
     auto OnEdge = [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
       VInt<BK> SrcState = gather<BK>(State.data(), Src, EAct);
       VInt<BK> DstState = gather<BK>(State.data(), Dst, EAct);
@@ -88,8 +100,8 @@ std::vector<std::int32_t> maximalIndependentSet(const VT &G,
       scatter<BK>(State.data(), Src, splat<BK>(MisUndecided),
                   andNot(BothCand, SrcWins));
     };
-    forEachWorklistSlice<BK>(Cfg, *Sched, WL.in().items(), WL.in().size(), TaskIdx,
-                             TaskCount,
+    forEachWorklistSlice<BK>(Cfg, G, *Sched, WL.in().items(), WL.in().size(),
+                             TaskIdx, TaskCount, PF, TL.Pf,
                              [&](VInt<BK> Node, VMask<BK> Act) {
                                visitEdges<BK>(Cfg, G, Node, Act, TL.Np,
                                               OnEdge);
@@ -109,6 +121,7 @@ std::vector<std::int32_t> maximalIndependentSet(const VT &G,
 
   TaskFn ExcludeAndRebuild = [&](int TaskIdx, int TaskCount) {
     TaskLocal &TL = *Locals[TaskIdx];
+    TL.armPrefetch(PF);
     // Exclude neighbours of new members (edge-local, idempotent stores).
     auto OnEdge = [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
       VInt<BK> SrcState = gather<BK>(State.data(), Src, EAct);
@@ -117,8 +130,8 @@ std::vector<std::int32_t> maximalIndependentSet(const VT &G,
                           (DstState == splat<BK>(MisIn));
       scatter<BK>(State.data(), Src, splat<BK>(MisOut), Exclude);
     };
-    forEachWorklistSlice<BK>(Cfg, *Sched, WL.in().items(), WL.in().size(), TaskIdx,
-                             TaskCount,
+    forEachWorklistSlice<BK>(Cfg, G, *Sched, WL.in().items(), WL.in().size(),
+                             TaskIdx, TaskCount, PF, TL.Pf,
                              [&](VInt<BK> Node, VMask<BK> Act) {
                                visitEdges<BK>(Cfg, G, Node, Act, TL.Np,
                                               OnEdge);

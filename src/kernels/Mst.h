@@ -75,11 +75,36 @@ MstResult boruvkaMst(const VT &G, const KernelConfig &Cfg) {
                      });
   };
 
+  // The min-edge sweep's latency sits in FindRoot's Parent gathers; the
+  // first hop of every chain (Parent[u], Parent[v]) is computable from the
+  // immutable edge arrays alone, so an inline inspect stage prefetches
+  // those lines Dist vectors ahead. Later hops are data-dependent and stay
+  // demand-fetched. Parent is a (mutable) property array, so the stage runs
+  // only under rows+props; it is prefetch-only — never read ahead of time.
+  PrefetchPlan PF = kernelPrefetchPlan(Cfg);
+  const std::int64_t PfFar =
+      static_cast<std::int64_t>(PF.Dist > 0 ? PF.Dist : 0) * BK::Width;
+
   // Each component's minimum outgoing edge via 64-bit atomic min.
   TaskFn FindMinEdges = [&](int TaskIdx, int TaskCount) {
+    PrefetchCounters PfC;
+    const bool Staged = PF.active() && PF.wantProps();
+    auto InspectParents = [&](std::int64_t P, std::int64_t RE) {
+      using namespace prefetchdetail;
+      std::int64_t Stop = P + BK::Width < RE ? P + BK::Width : RE;
+      for (std::int64_t E = P; E < Stop; ++E) {
+        pfLine<BK>(Parent.data() + EdgeSrc[static_cast<std::size_t>(E)], PfC);
+        pfLine<BK>(Parent.data() + G.edgeDst()[E], PfC);
+      }
+    };
     Sched->forRanges(G.numEdges(), TaskIdx, TaskCount, [&](std::int64_t RB,
                                                            std::int64_t RE) {
+    if (Staged)
+      for (std::int64_t P = RB; P < RB + PfFar && P < RE; P += BK::Width)
+        InspectParents(P, RE);
     for (std::int64_t EBase = RB; EBase < RE; EBase += BK::Width) {
+      if (Staged && EBase + PfFar < RE)
+        InspectParents(EBase + PfFar, RE);
       int Valid = static_cast<int>(
           RE - EBase < BK::Width ? RE - EBase : BK::Width);
       VMask<BK> Act = maskFirstN<BK>(Valid);

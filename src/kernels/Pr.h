@@ -48,6 +48,13 @@ std::vector<float> pageRank(const VT &G, const KernelConfig &Cfg,
   auto Sched = makeLoopScheduler(Cfg, N);
   FloatAccumEngine Eng(Cfg.Update, N, Cfg.NumTasks, Cfg.UpdateBlockNodes,
                        Cfg.SchedInstrument);
+  // The push phase gathers Contrib[Src] and add-scatters Accum[Dst]; the
+  // node-order phases are unit-stride and need no staging.
+  PrefetchPlan PF = kernelPrefetchPlan(Cfg);
+  PF.addProp(Contrib.data(), static_cast<int>(sizeof(float)),
+             PrefetchIndexKind::Node);
+  PF.addProp(Accum.data(), static_cast<int>(sizeof(float)),
+             PrefetchIndexKind::Dst);
   // Max residual of the current round, stored as float bits (non-negative
   // floats compare correctly as int32).
   std::int32_t MaxDiffBits = 0;
@@ -77,7 +84,8 @@ std::vector<float> pageRank(const VT &G, const KernelConfig &Cfg,
   // keeps the exact pre-engine inner loop (no per-vector policy dispatch).
   auto PushSweep = [&](int TaskIdx, int TaskCount, auto &&OnEdge) {
     TaskLocal &TL = *Locals[TaskIdx];
-    forEachNodeSlice<BK>(G, *Sched, TaskIdx, TaskCount,
+    TL.armPrefetch(PF);
+    forEachNodeSlice<BK>(G, *Sched, TaskIdx, TaskCount, PF, TL.Pf,
                          [&](VInt<BK> Node, VMask<BK> Act, std::int64_t Slot) {
                            visitEdges<BK>(Cfg, G, Node, Act, TL.Np, OnEdge,
                                           Slot);

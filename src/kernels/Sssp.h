@@ -51,12 +51,22 @@ std::vector<std::int32_t> ssspNf(const VT &G, const KernelConfig &Cfg,
   Near.in().pushSerial(Source);
   auto Locals = makeTaskLocals(Cfg);
   auto Sched = makeLoopScheduler(Cfg, static_cast<std::int64_t>(Cap));
+  // Relaxations gather Dist[Src], gather the weight by CSR edge index, and
+  // min-scatter Dist[Dst]; all three streams join the inspect stage.
+  PrefetchPlan PF = kernelPrefetchPlan(Cfg);
+  PF.addProp(Dist.data(), static_cast<int>(sizeof(std::int32_t)),
+             PrefetchIndexKind::Node);
+  PF.addProp(Dist.data(), static_cast<int>(sizeof(std::int32_t)),
+             PrefetchIndexKind::Dst);
+  PF.addProp(G.edgeWeight(), static_cast<int>(sizeof(std::int32_t)),
+             PrefetchIndexKind::Edge);
   std::int32_t Threshold = Cfg.Delta;
 
   runPipe(
       Cfg,
       TaskFn([&](int TaskIdx, int TaskCount) {
         TaskLocal &TL = *Locals[TaskIdx];
+        TL.armPrefetch(PF);
         VInt<BK> Thresh = splat<BK>(Threshold);
         auto OnEdge = [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK> EIdx,
                           VMask<BK> EAct) {
@@ -79,8 +89,9 @@ std::vector<std::int32_t> ssspNf(const VT &G, const KernelConfig &Cfg,
           if (any(ToFar))
             pushFrontier<BK>(Cfg, Far, nullptr, Dst, ToFar);
         };
-        forEachWorklistSlice<BK>(Cfg, *Sched, Near.in().items(),
-                                 Near.in().size(), TaskIdx, TaskCount,
+        forEachWorklistSlice<BK>(Cfg, G, *Sched, Near.in().items(),
+                                 Near.in().size(), TaskIdx, TaskCount, PF,
+                                 TL.Pf,
                                  [&](VInt<BK> Node, VMask<BK> Act) {
                                    visitEdges<BK>(Cfg, G, Node, Act, TL.Np,
                                                   OnEdge);

@@ -47,15 +47,64 @@ std::int64_t triangleCount(const VT &G, const KernelConfig &Cfg) {
   std::vector<NodeId> EdgeSrc = buildEdgeSources(G);
   std::int64_t Total = 0;
   auto Sched = makeLoopScheduler(Cfg, G.numEdges());
+  // Tri's merges chase data-dependent cursors, so the generic staged vertex
+  // loop does not fit; instead the edge-parallel sweep carries its own
+  // two-distance inspect stage: row_ptr lines for the (u, v) endpoints of
+  // the vector Dist ahead, and the heads of both adjacency lists (where
+  // every merge starts) at half that distance. Only immutable topology is
+  // demand-read ahead of time.
+  PrefetchPlan PF = kernelPrefetchPlan(Cfg);
 
   Cfg.TS->launch(Cfg.NumTasks, [&](int TaskIdx, int TaskCount) {
     std::int64_t LocalCount = 0;
+    PrefetchCounters PfC;
+    const std::int64_t Far =
+        static_cast<std::int64_t>(PF.Dist > 0 ? PF.Dist : 0) * BK::Width;
+    const std::int64_t Near =
+        static_cast<std::int64_t>(PF.Dist > 0 ? (PF.Dist + 1) / 2 : 0) *
+        BK::Width;
+    auto InspectRows = [&](std::int64_t P, std::int64_t RE) {
+      using namespace prefetchdetail;
+      std::int64_t Stop = P + BK::Width < RE ? P + BK::Width : RE;
+      for (std::int64_t E = P; E < Stop; ++E) {
+        NodeId U = EdgeSrc[static_cast<std::size_t>(E)];
+        NodeId V = G.edgeDst()[E];
+        if (U >= V)
+          continue;
+        pfLine<BK>(G.rowStart() + U, PfC);
+        pfLine<BK>(G.rowStart() + V, PfC);
+      }
+    };
+    auto InspectHeads = [&](std::int64_t P, std::int64_t RE) {
+      using namespace prefetchdetail;
+      std::int64_t Stop = P + BK::Width < RE ? P + BK::Width : RE;
+      for (std::int64_t E = P; E < Stop; ++E) {
+        NodeId U = EdgeSrc[static_cast<std::size_t>(E)];
+        NodeId V = G.edgeDst()[E];
+        if (U >= V)
+          continue;
+        pfLine<BK>(G.edgeDst() + G.rowStart()[U], PfC);
+        pfLine<BK>(G.edgeDst() + G.rowStart()[V], PfC);
+      }
+    };
     // Edge-parallel loop: lanes take consecutive (u, v) edges of each
     // scheduled range. Per-edge work varies with deg(u) + deg(v), so the
     // dynamic policies pay off most here on skewed graphs.
     Sched->forRanges(G.numEdges(), TaskIdx, TaskCount, [&](std::int64_t RB,
                                                            std::int64_t RE) {
+    if (PF.active()) {
+      for (std::int64_t P = RB; P < RB + Far && P < RE; P += BK::Width)
+        InspectRows(P, RE);
+      for (std::int64_t P = RB; P < RB + Near && P < RE; P += BK::Width)
+        InspectHeads(P, RE);
+    }
     for (std::int64_t EBase = RB; EBase < RE; EBase += BK::Width) {
+      if (PF.active()) {
+        if (EBase + Far < RE)
+          InspectRows(EBase + Far, RE);
+        if (EBase + Near < RE)
+          InspectHeads(EBase + Near, RE);
+      }
       int Valid = static_cast<int>(
           RE - EBase < BK::Width ? RE - EBase : BK::Width);
       VMask<BK> Act = maskFirstN<BK>(Valid);

@@ -25,6 +25,7 @@
 #ifndef EGACS_SCHED_NESTEDPARALLELISM_H
 #define EGACS_SCHED_NESTEDPARALLELISM_H
 
+#include "sched/Prefetch.h"
 #include "sched/VertexLoop.h"
 #include "support/AlignedBuffer.h"
 
@@ -44,6 +45,18 @@ public:
   std::int32_t size() const { return Count; }
   std::size_t capacity() const { return SrcBuf.size(); }
 
+  /// Arms the staged execution mode for this task's edge loops: flush() and
+  /// the heavy-node sweep prefetch their upcoming gathers PF->Dist vectors
+  /// ahead, batching statistics into \p C. Pass an inactive plan (or leave
+  /// unset) for the exact pre-pipeline behavior.
+  void setPrefetch(const PrefetchPlan *PF, PrefetchCounters *C) {
+    Pf = (PF != nullptr && PF->active() && C != nullptr) ? PF : nullptr;
+    PfC = Pf != nullptr ? C : nullptr;
+  }
+
+  const PrefetchPlan *prefetchPlan() const { return Pf; }
+  PrefetchCounters *prefetchCounters() const { return PfC; }
+
   template <typename BK>
   void append(simd::VInt<BK> Src, simd::VInt<BK> Edge, simd::VMask<BK> M) {
     assert(static_cast<std::size_t>(Count) + BK::Width <= SrcBuf.size() &&
@@ -58,11 +71,24 @@ public:
 
   /// Sweeps the buffered edges with full vectors and empties the buffer.
   /// The staged pairs have lost slot alignment, so every layout satisfies
-  /// this through the edge-index gather surface.
+  /// this through the edge-index gather surface. With a prefetch plan armed
+  /// (setPrefetch), the buffered edge indices — already known, task-local,
+  /// and cache-hot — drive an inspect stage PF->Dist vectors ahead of the
+  /// executing gather.
   template <typename BK, typename VT, typename EdgeFnT>
   void flush(const VT &G, EdgeFnT &&Fn) {
     using namespace simd;
+    const std::int32_t Ahead =
+        Pf != nullptr
+            ? static_cast<std::int32_t>(Pf->Dist > 0 ? Pf->Dist : 0) *
+                  BK::Width
+            : 0;
+    if (Pf != nullptr)
+      for (std::int32_t P = 0; P < Ahead && P < Count; P += BK::Width)
+        inspectFlushVector<BK>(G, P);
     for (std::int32_t I = 0; I < Count; I += BK::Width) {
+      if (Pf != nullptr && I + Ahead < Count)
+        inspectFlushVector<BK>(G, I + Ahead);
       int Valid = Count - I < BK::Width ? Count - I : BK::Width;
       VMask<BK> Act = maskFirstN<BK>(Valid);
       VInt<BK> Src = maskedLoad<BK>(SrcBuf.data() + I, Act);
@@ -76,9 +102,37 @@ public:
   }
 
 private:
+  /// Inspects one flush vector at buffer offset \p J: edge-destination
+  /// lines plus src-/edge-indexed property lines under rows+props.
+  template <typename BK, typename VT>
+  void inspectFlushVector(const VT &G, std::int32_t J) {
+    using namespace prefetchdetail;
+    std::int32_t Stop = J + BK::Width < Count ? J + BK::Width : Count;
+    for (std::int32_t K = J; K < Stop; ++K) {
+      EdgeId E = EdgeBuf[static_cast<std::size_t>(K)];
+      pfLine<BK>(G.edgeDst() + E, *PfC);
+      if (Pf->wantProps())
+        for (int P = 0; P < Pf->NumProps; ++P) {
+          const PrefetchPlan::Prop &Prop = Pf->Props[P];
+          if (Prop.Kind == PrefetchIndexKind::Node)
+            pfLine<BK>(static_cast<const char *>(Prop.Base) +
+                           static_cast<std::int64_t>(
+                               SrcBuf[static_cast<std::size_t>(K)]) *
+                               Prop.ElemSize,
+                       *PfC);
+          else if (Prop.Kind == PrefetchIndexKind::Edge)
+            pfLine<BK>(static_cast<const char *>(Prop.Base) +
+                           static_cast<std::int64_t>(E) * Prop.ElemSize,
+                       *PfC);
+        }
+    }
+  }
+
   AlignedBuffer<NodeId> SrcBuf;
   AlignedBuffer<EdgeId> EdgeBuf;
   std::int32_t Count = 0;
+  const PrefetchPlan *Pf = nullptr;
+  PrefetchCounters *PfC = nullptr;
 };
 
 /// Nested-parallelism edge visit for one vector of nodes. Low-degree edges
@@ -102,6 +156,21 @@ void npForEachEdge(const VT &G, simd::VInt<BK> Node, simd::VMask<BK> Act,
   VMask<BK> Heavy = Act & (Deg >= splat<BK>(BK::Width));
 
   // Warp/block-level scheduler: full vector over one heavy node at a time.
+  // With a plan armed, the contiguous sweep carries its own two-distance
+  // inspect stage: destination lines (and edge-prop lines) at +Dist
+  // vectors, destination-indexed property peeks at +Dist/2 (where the
+  // destination ids themselves are already cache-warm).
+  const PrefetchPlan *Pf = Scratch.prefetchPlan();
+  PrefetchCounters *PfC = Scratch.prefetchCounters();
+  const EdgeId PfFar =
+      Pf != nullptr
+          ? static_cast<EdgeId>(Pf->Dist > 0 ? Pf->Dist : 0) * BK::Width
+          : 0;
+  const EdgeId PfNear =
+      Pf != nullptr
+          ? static_cast<EdgeId>(Pf->Dist > 0 ? (Pf->Dist + 1) / 2 : 0) *
+                BK::Width
+          : 0;
   std::uint64_t HeavyBits = maskBits(Heavy);
   while (HeavyBits) {
     int L = __builtin_ctzll(HeavyBits);
@@ -112,6 +181,32 @@ void npForEachEdge(const VT &G, simd::VInt<BK> Node, simd::VMask<BK> Act,
     VInt<BK> SrcV = splat<BK>(N);
     VInt<BK> Lane = programIndex<BK>();
     for (EdgeId E = EBegin; E < EEnd; E += BK::Width) {
+      if (Pf != nullptr) {
+        using namespace prefetchdetail;
+        if (E + PfFar < EEnd) {
+          pfLine<BK>(G.edgeDst() + E + PfFar, *PfC);
+          if (Pf->wantProps())
+            for (int P = 0; P < Pf->NumProps; ++P)
+              if (Pf->Props[P].Kind == PrefetchIndexKind::Edge)
+                pfLine<BK>(static_cast<const char *>(Pf->Props[P].Base) +
+                               static_cast<std::int64_t>(E + PfFar) *
+                                   Pf->Props[P].ElemSize,
+                           *PfC);
+        }
+        if (Pf->wantProps() && E + PfNear < EEnd) {
+          int Peek = static_cast<int>(EEnd - (E + PfNear) < BK::Width
+                                          ? EEnd - (E + PfNear)
+                                          : BK::Width);
+          for (int P = 0; P < Pf->NumProps; ++P)
+            if (Pf->Props[P].Kind == PrefetchIndexKind::Dst)
+              for (int J = 0; J < Peek; ++J)
+                pfLine<BK>(static_cast<const char *>(Pf->Props[P].Base) +
+                               static_cast<std::int64_t>(
+                                   G.edgeDst()[E + PfNear + J]) *
+                                   Pf->Props[P].ElemSize,
+                           *PfC);
+        }
+      }
       int Valid = EEnd - E < BK::Width ? EEnd - E : BK::Width;
       VMask<BK> EAct = maskFirstN<BK>(Valid);
       VInt<BK> EIdx = splat<BK>(E) + Lane;

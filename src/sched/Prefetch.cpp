@@ -1,0 +1,41 @@
+//===- sched/Prefetch.cpp - Prefetch policy names and parsing -------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Prefetch.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace egacs;
+
+const char *egacs::prefetchPolicyName(PrefetchPolicy P) {
+  switch (P) {
+  case PrefetchPolicy::None:
+    return "none";
+  case PrefetchPolicy::Rows:
+    return "rows";
+  case PrefetchPolicy::RowsProps:
+    return "rows+props";
+  }
+  assert(false && "invalid prefetch policy");
+  return "<invalid>";
+}
+
+PrefetchPolicy egacs::parsePrefetchPolicy(const std::string &Name) {
+  if (Name == "none")
+    return PrefetchPolicy::None;
+  if (Name == "rows")
+    return PrefetchPolicy::Rows;
+  if (Name == "rows+props")
+    return PrefetchPolicy::RowsProps;
+  std::fprintf(stderr,
+               "error: unknown prefetch policy '%s' (expected "
+               "none|rows|rows+props)\n",
+               Name.c_str());
+  std::exit(2);
+}

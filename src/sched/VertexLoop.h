@@ -24,6 +24,7 @@
 #define EGACS_SCHED_VERTEXLOOP_H
 
 #include "graph/GraphView.h"
+#include "sched/Prefetch.h"
 #include "simd/Ops.h"
 
 #include <cstdint>
@@ -82,6 +83,81 @@ void forEachNodeVector(std::int64_t Begin, std::int64_t End, BodyT &&Body) {
     simd::VInt<BK> Ids =
         simd::splat<BK>(static_cast<std::int32_t>(I)) + Lane;
     Body(Ids, Act);
+  }
+}
+
+/// Staged variant of forEachVector for worklist-order items over view \p G:
+/// while the execute stage runs the vector at I, the row inspect stage
+/// prefetches row_ptr (+ node-prop) lines PF.Dist vectors ahead and the
+/// edge inspect stage prefetches neighbor-slot (+ dst/edge-prop) lines
+/// PF.Dist/2 vectors ahead, with a prologue warming the vectors the steady
+/// state skips. PF.Dist <= 0 degenerates to inspect-just-before-execute.
+template <typename BK, typename VT, typename BodyT>
+void forEachVectorStaged(const VT &G, const NodeId *Items, std::int64_t Begin,
+                         std::int64_t End, const PrefetchPlan &PF,
+                         PrefetchCounters &C, BodyT &&Body) {
+  const std::int64_t W = BK::Width;
+  const std::int64_t Far =
+      static_cast<std::int64_t>(PF.Dist > 0 ? PF.Dist : 0) * W;
+  const std::int64_t Near =
+      static_cast<std::int64_t>(PF.Dist > 0 ? (PF.Dist + 1) / 2 : 0) * W;
+  for (std::int64_t P = Begin; P < Begin + Far && P < End; P += W)
+    prefetchRowStage<BK>(G, Items, P, End, PF, C);
+  for (std::int64_t P = Begin; P < Begin + Near && P < End; P += W)
+    prefetchEdgeStage<BK>(G, Items, P, End, PF, C);
+  for (std::int64_t I = Begin; I < End; I += W) {
+    if (I + Far < End)
+      prefetchRowStage<BK>(G, Items, I + Far, End, PF, C);
+    if (I + Near < End)
+      prefetchEdgeStage<BK>(G, Items, I + Near, End, PF, C);
+    int Valid = static_cast<int>(End - I < W ? End - I : W);
+    simd::VMask<BK> Act = simd::maskFirstN<BK>(Valid);
+    simd::VInt<BK> Values = Valid == BK::Width
+                                ? simd::load<BK>(Items + I)
+                                : simd::maskedLoad<BK>(Items + I, Act);
+    Body(Values, Act);
+  }
+}
+
+/// Staged variant of the view forEachNodeVector (topology order): same
+/// two-stage pipeline as forEachVectorStaged, driven by the layout's
+/// iteration order. Slot-aligned SELL vectors get the contiguous-slice
+/// prefetch shape; the unaligned peel vector is inspected immediately,
+/// mirroring its gather-surface execution.
+template <typename BK, typename VT, typename BodyT>
+void forEachNodeVectorStaged(const VT &G, std::int64_t Begin,
+                             std::int64_t End, const PrefetchPlan &PF,
+                             PrefetchCounters &C, BodyT &&Body) {
+  const std::int64_t W = BK::Width;
+  const NodeId *Order = viewOrder(G);
+  std::int64_t I = Begin;
+  if constexpr (ViewSellTraits<VT>::SellSlices) {
+    std::int64_t Aligned = ((Begin + W - 1) / W) * W;
+    std::int64_t PeelEnd = Aligned < End ? Aligned : End;
+    if (I < PeelEnd) {
+      prefetchRowStage<BK>(G, Order, I, PeelEnd, PF, C);
+      prefetchEdgeStage<BK>(G, Order, I, PeelEnd, PF, C);
+      simd::VMask<BK> Act = simd::maskFirstN<BK>(static_cast<int>(PeelEnd - I));
+      Body(slotNodes<BK>(G, I, Act), Act, I);
+      I = PeelEnd;
+    }
+  }
+  const std::int64_t Far =
+      static_cast<std::int64_t>(PF.Dist > 0 ? PF.Dist : 0) * W;
+  const std::int64_t Near =
+      static_cast<std::int64_t>(PF.Dist > 0 ? (PF.Dist + 1) / 2 : 0) * W;
+  for (std::int64_t P = I; P < I + Far && P < End; P += W)
+    prefetchRowStage<BK>(G, Order, P, End, PF, C);
+  for (std::int64_t P = I; P < I + Near && P < End; P += W)
+    prefetchEdgeStage<BK>(G, Order, P, End, PF, C);
+  for (; I < End; I += W) {
+    if (I + Far < End)
+      prefetchRowStage<BK>(G, Order, I + Far, End, PF, C);
+    if (I + Near < End)
+      prefetchEdgeStage<BK>(G, Order, I + Near, End, PF, C);
+    int Valid = static_cast<int>(End - I < W ? End - I : W);
+    simd::VMask<BK> Act = simd::maskFirstN<BK>(Valid);
+    Body(slotNodes<BK>(G, I, Act), Act, I);
   }
 }
 

@@ -85,6 +85,41 @@ struct Avx2Backend {
     return _mm256_mask_i32gather_epi32(_mm256_setzero_si256(), Base, Idx, M,
                                        4);
   }
+  /// Read-prefetch of the cache line holding \p P (_mm_prefetch wants a
+  /// literal hint, hence the switch; locality follows the _MM_HINT_* scale).
+  static void prefetch(const void *P, int Locality) {
+    const char *C = static_cast<const char *>(P);
+    switch (Locality) {
+    case 0:
+      _mm_prefetch(C, _MM_HINT_NTA);
+      break;
+    case 1:
+      _mm_prefetch(C, _MM_HINT_T2);
+      break;
+    case 2:
+      _mm_prefetch(C, _MM_HINT_T1);
+      break;
+    default:
+      _mm_prefetch(C, _MM_HINT_T0);
+      break;
+    }
+  }
+
+  /// Per-lane prefetch of Base[Idx] for the active lanes (no gather-prefetch
+  /// instruction exists on this line; same spill-and-loop idiom as scatter).
+  static void gatherPrefetch(const void *Base, VInt Idx, Mask M,
+                             int ElemSize) {
+    alignas(32) std::int32_t Ix[8];
+    store(Ix, Idx);
+    const char *P = static_cast<const char *>(Base);
+    unsigned Bits = maskBits(M);
+    while (Bits) {
+      int L = __builtin_ctz(Bits);
+      Bits &= Bits - 1;
+      prefetch(P + static_cast<std::int64_t>(Ix[L]) * ElemSize, 3);
+    }
+  }
+
   /// AVX2 has no scatter instruction; ISPC emits a scalar loop.
   static void scatter(std::int32_t *Base, VInt Idx, VInt V, Mask M) {
     alignas(32) std::int32_t Ix[8], Vx[8];

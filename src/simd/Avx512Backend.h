@@ -62,6 +62,42 @@ struct Avx512Backend {
   static VFloat gatherF(const float *Base, VInt Idx, Mask M) {
     return _mm512_mask_i32gather_ps(_mm512_setzero_ps(), M, Idx, Base, 4);
   }
+
+  /// Read-prefetch of the cache line holding \p P (_mm_prefetch wants a
+  /// literal hint, hence the switch; locality follows the _MM_HINT_* scale).
+  static void prefetch(const void *P, int Locality) {
+    const char *C = static_cast<const char *>(P);
+    switch (Locality) {
+    case 0:
+      _mm_prefetch(C, _MM_HINT_NTA);
+      break;
+    case 1:
+      _mm_prefetch(C, _MM_HINT_T2);
+      break;
+    case 2:
+      _mm_prefetch(C, _MM_HINT_T1);
+      break;
+    default:
+      _mm_prefetch(C, _MM_HINT_T0);
+      break;
+    }
+  }
+
+  /// Per-lane prefetch of Base[Idx] for the active lanes. The AVX512PF
+  /// gather-prefetch instructions were KNL-only, so SKX lowers this to the
+  /// same spill-and-loop idiom the scalar backends use.
+  static void gatherPrefetch(const void *Base, VInt Idx, Mask M,
+                             int ElemSize) {
+    alignas(64) std::int32_t Ix[16];
+    store(Ix, Idx);
+    const char *P = static_cast<const char *>(Base);
+    unsigned Bits = M;
+    while (Bits) {
+      int L = __builtin_ctz(Bits);
+      Bits &= Bits - 1;
+      prefetch(P + static_cast<std::int64_t>(Ix[L]) * ElemSize, 3);
+    }
+  }
   static void scatterF(float *Base, VInt Idx, VFloat V, Mask M) {
     _mm512_mask_i32scatter_ps(Base, M, Idx, V, 4);
   }
@@ -218,6 +254,25 @@ struct Avx512HalfBackend {
   }
   static VFloat gatherF(const float *Base, VInt Idx, Mask M) {
     return _mm256_mmask_i32gather_ps(_mm256_setzero_ps(), M, Idx, Base, 4);
+  }
+
+  /// See Avx512Backend::prefetch.
+  static void prefetch(const void *P, int Locality) {
+    Avx512Backend::prefetch(P, Locality);
+  }
+
+  /// See Avx512Backend::gatherPrefetch.
+  static void gatherPrefetch(const void *Base, VInt Idx, Mask M,
+                             int ElemSize) {
+    alignas(32) std::int32_t Ix[8];
+    store(Ix, Idx);
+    const char *P = static_cast<const char *>(Base);
+    unsigned Bits = M;
+    while (Bits) {
+      int L = __builtin_ctz(Bits);
+      Bits &= Bits - 1;
+      prefetch(P + static_cast<std::int64_t>(Ix[L]) * ElemSize, 3);
+    }
   }
   static void scatterF(float *Base, VInt Idx, VFloat V, Mask M) {
     _mm256_mask_i32scatter_ps(Base, M, Idx, V, 4);

@@ -25,6 +25,8 @@
 #include "support/Stats.h"
 
 #include <cstdint>
+#include <type_traits>
+#include <utility>
 
 namespace egacs::simd {
 
@@ -361,6 +363,86 @@ template <typename B> void recordNeighborGather(VMask<B> M) {
 #else
   (void)M;
 #endif
+}
+
+// --- Software prefetch -------------------------------------------------------
+
+/// Temporal-locality hint for software prefetches (the _MM_HINT_* scale).
+enum class PrefetchHint : int {
+  NonTemporal = 0,
+  Low = 1,
+  Medium = 2,
+  High = 3,
+};
+
+namespace detail {
+
+/// SFINAE capability probe, like ConflictDetect in simd/Atomics.h: backends
+/// that supply a native prefetch(addr, locality) hook get it called;
+/// everything else degrades to a no-op (prefetching is only ever a hint).
+template <typename B, typename = void> struct PrefetchDetect {
+  static constexpr bool Native = false;
+  static void run(const void *, int) {}
+};
+
+template <typename B>
+struct PrefetchDetect<B, std::void_t<decltype(B::prefetch(
+                             std::declval<const void *>(), 0))>> {
+  static constexpr bool Native = true;
+  static void run(const void *P, int Locality) { B::prefetch(P, Locality); }
+};
+
+/// Same probe for the vector gather-prefetch hook. The fallback walks the
+/// active lanes through PrefetchDetect, so a backend with only the scalar
+/// hook still prefetches every lane, and a backend with neither no-ops.
+template <typename B, typename = void> struct GatherPrefetchDetect {
+  static constexpr bool Native = false;
+  static void run(const void *Base, typename B::VInt Idx, typename B::Mask M,
+                  int ElemSize) {
+    const char *P = static_cast<const char *>(Base);
+    std::uint64_t Bits = B::maskBits(M);
+    while (Bits) {
+      int L = __builtin_ctzll(Bits);
+      Bits &= Bits - 1;
+      PrefetchDetect<B>::run(
+          P + static_cast<std::int64_t>(B::extract(Idx, L)) * ElemSize, 3);
+    }
+  }
+};
+
+template <typename B>
+struct GatherPrefetchDetect<
+    B, std::void_t<decltype(B::gatherPrefetch(
+           std::declval<const void *>(), std::declval<typename B::VInt>(),
+           std::declval<typename B::Mask>(), 4))>> {
+  static constexpr bool Native = true;
+  static void run(const void *Base, typename B::VInt Idx, typename B::Mask M,
+                  int ElemSize) {
+    B::gatherPrefetch(Base, Idx, M, ElemSize);
+  }
+};
+
+} // namespace detail
+
+/// True when backend \p B lowers prefetch() to a real instruction.
+template <typename B> constexpr bool hasNativePrefetch() {
+  return detail::PrefetchDetect<B>::Native;
+}
+
+/// Hints the cache hierarchy to pull in the line holding \p P. Deliberately
+/// NOT routed through the op counters: prefetches are scheduling hints, not
+/// architectural SPMD operations, and must not perturb the Fig 7 counts.
+template <typename B>
+void prefetch(const void *P, PrefetchHint H = PrefetchHint::High) {
+  detail::PrefetchDetect<B>::run(P, static_cast<int>(H));
+}
+
+/// Hints the lines holding Base[Idx[L]] (elements of \p ElemSize bytes) for
+/// every active lane. Not op-counted, same as prefetch().
+template <typename B>
+void gatherPrefetch(const void *Base, VInt<B> Idx, VMask<B> M,
+                    int ElemSize = 4) {
+  detail::GatherPrefetchDetect<B>::run(Base, Idx.V, M.M, ElemSize);
 }
 
 /// Records that the \p M-active lanes fetched their neighbor id via a

@@ -74,6 +74,15 @@ template <typename B, const char *BackendName> struct PumpedBackend {
   static VFloat gatherF(const float *Base, VInt Idx, Mask M) {
     return {B::gatherF(Base, Idx.Lo, M.Lo), B::gatherF(Base, Idx.Hi, M.Hi)};
   }
+
+  static void prefetch(const void *P, int Locality) {
+    B::prefetch(P, Locality);
+  }
+  static void gatherPrefetch(const void *Base, VInt Idx, Mask M,
+                             int ElemSize) {
+    B::gatherPrefetch(Base, Idx.Lo, M.Lo, ElemSize);
+    B::gatherPrefetch(Base, Idx.Hi, M.Hi, ElemSize);
+  }
   static void scatterF(float *Base, VInt Idx, VFloat V, Mask M) {
     B::scatterF(Base, Idx.Lo, V.Lo, M.Lo);
     B::scatterF(Base, Idx.Hi, V.Hi, M.Hi);

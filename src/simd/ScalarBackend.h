@@ -119,6 +119,39 @@ template <int W> struct ScalarBackend {
         Base[Idx.Lane[I]] = V.Lane[I];
   }
 
+  // --- Software prefetch --------------------------------------------------
+
+  /// Read-prefetch of the cache line holding \p P. \p Locality follows the
+  /// _MM_HINT_* scale (0 = non-temporal .. 3 = keep in all levels); the
+  /// builtin wants a literal, hence the switch.
+  static void prefetch(const void *P, int Locality) {
+    switch (Locality) {
+    case 0:
+      __builtin_prefetch(P, 0, 0);
+      break;
+    case 1:
+      __builtin_prefetch(P, 0, 1);
+      break;
+    case 2:
+      __builtin_prefetch(P, 0, 2);
+      break;
+    default:
+      __builtin_prefetch(P, 0, 3);
+      break;
+    }
+  }
+
+  /// Per-lane prefetch of Base[Idx] for the active lanes, for elements of
+  /// \p ElemSize bytes. No hardware has a true gather-prefetch on the SKX
+  /// line (AVX512PF was KNL-only), so every backend lowers this to a loop.
+  static void gatherPrefetch(const void *Base, VInt Idx, Mask M,
+                             int ElemSize) {
+    const char *P = static_cast<const char *>(Base);
+    for (int I = 0; I < W; ++I)
+      if (M.Lane[I])
+        prefetch(P + static_cast<std::int64_t>(Idx.Lane[I]) * ElemSize, 3);
+  }
+
   static VFloat gatherF(const float *Base, VInt Idx, Mask M) {
     VFloat R;
     for (int I = 0; I < W; ++I)

@@ -67,6 +67,10 @@ const char *egacs::statName(Stat S) {
     return "neighbor-gather-lanes";
   case Stat::NeighborContigLanes:
     return "neighbor-contig-lanes";
+  case Stat::PrefetchesIssued:
+    return "prefetches-issued";
+  case Stat::PrefetchLinesTouched:
+    return "prefetch-lines-touched";
   case Stat::NumStats:
     break;
   }

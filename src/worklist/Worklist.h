@@ -76,9 +76,15 @@ public:
 
   /// Atomically reserves \p Count slots; returns the first index. Aborts on
   /// overflow — a worklist overrun would silently corrupt neighbouring
-  /// allocations, so this check stays on in release builds.
+  /// allocations, so this check stays on in release builds. Debug builds
+  /// fail through assert() first for a readable message.
   std::int32_t reserve(std::int32_t Count) {
+    assert(Count >= 0 && "worklist reservation count must be non-negative");
     std::int32_t Idx = simd::atomicAddGlobal(&Size, Count);
+    assert(static_cast<std::size_t>(Idx) + static_cast<std::size_t>(Count) <=
+               Items.size() &&
+           "worklist overflow: reserve() past capacity; size the list for "
+           "the worst-case frontier");
     if (static_cast<std::size_t>(Idx) + static_cast<std::size_t>(Count) >
         Items.size())
       __builtin_trap();

@@ -135,6 +135,28 @@ TEST(IrglCodeGen, OptimizedBfsLowersToOptimizedPrimitives) {
   EXPECT_FALSE(contains(Cpp, "pushNaive"));
 }
 
+TEST(IrglCodeGen, KernelsEmitPrefetchPlans) {
+  // Every kernel seeds a plan from Cfg, registers its State arrays under
+  // the index shape they are accessed through (dist[dst] -> Dst,
+  // dist[src] -> Node, weight[e] -> Edge), arms the task scratch, and
+  // drives its sweeps through the staged slice overloads.
+  Program P = buildBfsProgram();
+  runPasses(P, OptimizationBundle::all());
+  std::string Cpp = emitCpp(P);
+  EXPECT_TRUE(contains(Cpp, "PrefetchPlan PF = kernelPrefetchPlan(Cfg);"));
+  EXPECT_TRUE(contains(Cpp,
+                       "PF.addProp(State.dist, "
+                       "static_cast<int>(sizeof(std::int32_t)), "
+                       "PrefetchIndexKind::Dst);"));
+  EXPECT_TRUE(contains(Cpp, "PrefetchIndexKind::Node);"));
+  EXPECT_TRUE(contains(Cpp, "TL.armPrefetch(PF);"));
+  EXPECT_TRUE(contains(Cpp, "TaskIdx, TaskCount, PF, TL.Pf,"));
+
+  Program Q = buildSsspProgram();
+  std::string Sssp = emitCpp(Q);
+  EXPECT_TRUE(contains(Sssp, "PrefetchIndexKind::Edge);"));
+}
+
 TEST(IrglCodeGen, SsspLoadsWeightsThroughGathers) {
   Program P = buildSsspProgram();
   std::string Cpp = emitCpp(P);

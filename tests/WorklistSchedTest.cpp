@@ -113,6 +113,38 @@ TEST(WorklistPush, ConcurrentCoopPushesAreLossless) {
     EXPECT_EQ(Counts[T], PerThread * BK::Width);
 }
 
+TEST(WorklistCapacity, ReserveUpToExactCapacitySucceeds) {
+  // Filling the list to exactly its capacity is legal; the overflow check
+  // fires only one element past.
+  Worklist WL(2 * BK::Width);
+  VInt<BK> V = programIndex<BK>();
+  pushCoop<BK>(WL, V, maskAll<BK>());
+  pushCoop<BK>(WL, V, maskAll<BK>());
+  EXPECT_EQ(static_cast<std::size_t>(WL.size()), WL.capacity());
+  // Same for the serial path and a direct full-size reservation.
+  Worklist WL2(8);
+  for (int I = 0; I < 8; ++I)
+    WL2.pushSerial(I);
+  EXPECT_EQ(WL2.size(), 8);
+  Worklist WL3(8);
+  EXPECT_EQ(WL3.reserve(8), 0);
+  EXPECT_EQ(WL3.size(), 8);
+}
+
+#ifndef NDEBUG
+TEST(WorklistCapacityDeath, ReservePastCapacityDiesWithMessage) {
+  Worklist WL(4);
+  WL.reserve(4);
+  EXPECT_DEATH(WL.reserve(1), "worklist overflow");
+}
+
+TEST(WorklistCapacityDeath, PushSerialPastCapacityDiesWithMessage) {
+  Worklist WL(1);
+  WL.pushSerial(7);
+  EXPECT_DEATH(WL.pushSerial(8), "worklist overflow");
+}
+#endif // NDEBUG
+
 TEST(WorklistPair, SwapExchangesRoles) {
   WorklistPair WL(16);
   WL.in().pushSerial(1);
