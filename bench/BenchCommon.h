@@ -27,6 +27,10 @@
 ///   --prefetch=S none|rows|rows+props staged-loop prefetch policy
 ///               (default none, the exact pre-pipeline loops)
 ///   --pfdist=N  row-stage prefetch lookahead in vectors (default 8)
+///   --direction=S push|pull|hybrid traversal direction for the
+///               direction-capable kernels (default push)
+///   --alpha=N   Beamer push->pull numerator for hybrid (default 15)
+///   --beta=N    Beamer pull->push denominator for hybrid (default 18)
 ///   --json=P    also write the harness's measurements to P as JSON
 ///               (machine-readable perf trajectories)
 ///   --verify=0  skip output verification for faster sweeps
@@ -80,6 +84,9 @@ struct BenchEnv {
   std::int32_t SellSigma;
   PrefetchPolicy Prefetch;
   int PrefetchDist;
+  Direction Dir;
+  int AlphaNum;
+  int BetaDenom;
   std::string JsonPath;
   bool Verify;
 
@@ -98,6 +105,9 @@ struct BenchEnv {
         SellSigma(static_cast<std::int32_t>(Opts.getInt("sigma", 1 << 12))),
         Prefetch(parsePrefetchPolicy(Opts.getString("prefetch", "none"))),
         PrefetchDist(static_cast<int>(Opts.getInt("pfdist", 8))),
+        Dir(parseDirection(Opts.getString("direction", "push"))),
+        AlphaNum(static_cast<int>(Opts.getInt("alpha", 15))),
+        BetaDenom(static_cast<int>(Opts.getInt("beta", 18))),
         JsonPath(Opts.getString("json", "")),
         Verify(Opts.getBool("verify", true)) {
     if (NumTasks < 1)
@@ -125,6 +135,9 @@ struct BenchEnv {
     Cfg.SellSigma = SellSigma;
     Cfg.Prefetch = Prefetch;
     Cfg.PrefetchDist = PrefetchDist;
+    Cfg.Dir = Dir;
+    Cfg.AlphaNum = AlphaNum;
+    Cfg.BetaDenom = BetaDenom;
   }
 };
 

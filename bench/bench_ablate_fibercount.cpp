@@ -7,6 +7,14 @@
 // to limit resource consumption while maximizing average speedup"
 // (Section III-B1). Sweeps the cap on the fiber-eligible BFS variants.
 //
+//   $ bench_ablate_fibercount --scale=8 [--reps=3] [--json=out.json]
+//   $ bench_ablate_fibercount --scale=5 --reps=1 --checkstats=1   # CI
+//
+// --checkstats=1 verifies every cap column (cap=1 disables the
+// thread-block emulation entirely, so both extremes run through distinct
+// code paths; the default run verifies only the first) and exits non-zero
+// unless every measured cell executed barrier episodes.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -17,22 +25,45 @@ using namespace egacs::simd;
 
 int main(int Argc, char **Argv) {
   BenchEnv Env(Argc, Argv);
+  bool CheckStats = Env.Opts.getBool("checkstats", false);
   banner("ablation - MaxNumFibersPerTask (paper default 256)", Env);
   auto TS = Env.makeTs();
   TargetKind Target = bestTarget();
 
+  JsonLog Json(Env.JsonPath);
+  Json.meta("harness", "bench_ablate_fibercount");
+  Json.meta("scale", std::to_string(Env.Scale));
+  Json.meta("tasks", std::to_string(Env.NumTasks));
+  Json.meta("target", targetName(Target));
+  Json.setColumns({"input", "kernel", "cap", "wall_ms", "barrier_waits"});
+
   Table T({"kernel", "graph", "cap=1", "cap=16", "cap=64", "cap=256",
            "cap=1024"});
   const int Caps[] = {1, 16, 64, 256, 1024};
+  bool ChecksOk = true;
   for (const Input &In : makeAllInputs(Env.Scale)) {
     for (KernelKind Kind : {KernelKind::BfsCx, KernelKind::BfsHb}) {
       std::vector<std::string> Cells{kernelName(Kind), In.Name};
       for (int Cap : Caps) {
         KernelConfig Cfg = KernelConfig::allOptimizations(*TS, Env.NumTasks);
         Cfg.MaxFibersPerTask = Cap;
-        double Ms = timeKernel(Kind, Target, In, Cfg, Env.Reps,
-                               Env.Verify && Cap == Caps[0]);
+        statsReset();
+        StatsSnapshot Before = StatsSnapshot::capture();
+        double Ms =
+            timeKernel(Kind, Target, In, Cfg, Env.Reps,
+                       Env.Verify && (CheckStats || Cap == Caps[0]));
+        StatsSnapshot D = StatsSnapshot::capture() - Before;
+        std::uint64_t Waits = D.get(Stat::BarrierWaits);
+        if (CheckStats && Waits == 0) {
+          std::fprintf(stderr,
+                       "error: --checkstats: %s on %s with cap=%d executed "
+                       "no barrier episodes\n",
+                       kernelName(Kind), In.Name.c_str(), Cap);
+          ChecksOk = false;
+        }
         Cells.push_back(Table::fmt(Ms) + " ms");
+        Json.record({In.Name, kernelName(Kind), std::to_string(Cap),
+                     Table::fmt(Ms, 3), Table::fmt(Waits)});
       }
       T.addRow(std::move(Cells));
     }
@@ -41,5 +72,5 @@ int main(int Argc, char **Argv) {
   std::printf("\ndesign note: a cap of 1 disables the thread-block "
               "emulation; very large caps grow per-fiber state past the "
               "cache. The paper's 256 balances the two.\n");
-  return 0;
+  return ChecksOk ? 0 : 1;
 }

@@ -8,6 +8,17 @@
 // Small denominators go dense early (cheap on low-diameter graphs, wasteful
 // on roads); huge denominators never go dense, degenerating to bfs-cx.
 //
+//   $ bench_ablate_hybrid --scale=8 [--reps=3] [--json=out.json]
+//   $ bench_ablate_hybrid --scale=5 --reps=1 --checkstats=1   # CI
+//
+// Both extreme columns run through verification (never-dense exercises the
+// pure worklist path, always-dense the pure topology path). --checkstats=1
+// adds one op-counted run per extreme and exits non-zero unless, on the
+// rmat input, the always-dense configuration executes more gather lanes
+// than the never-dense one (dense rounds rescan every node's distance per
+// level; both styles push the same discovered frontier, so the scan cost
+// is the observable difference).
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -18,23 +29,88 @@ using namespace egacs::simd;
 
 int main(int Argc, char **Argv) {
   BenchEnv Env(Argc, Argv);
+  bool CheckStats = Env.Opts.getBool("checkstats", false);
   banner("ablation - bfs-hb hybrid threshold (default |V|/20)", Env);
   auto TS = Env.makeTs();
   TargetKind Target = bestTarget();
+
+  JsonLog Json(Env.JsonPath);
+  Json.meta("harness", "bench_ablate_hybrid");
+  Json.meta("scale", std::to_string(Env.Scale));
+  Json.meta("tasks", std::to_string(Env.NumTasks));
+  Json.meta("target", targetName(Target));
+  Json.setColumns({"input", "denom", "wall_ms", "items_pushed"});
+
+  // One extra op-counted run for a checkstats extreme; dense rounds
+  // gather every node's distance per level, so GatherOps separates the
+  // two round styles where the push counters cannot (both styles
+  // materialize the same next frontier).
+  auto countedGathers = [&](const Input &In, int Denom) {
+    KernelConfig Cfg = KernelConfig::allOptimizations(*TS, Env.NumTasks);
+    Cfg.HybridDenominator = Denom;
+    statsReset();
+    setOpCounting(true);
+    StatsSnapshot Before = StatsSnapshot::capture();
+    timeKernel(KernelKind::BfsHb, Target, In, Cfg, 1, false);
+    StatsSnapshot D = StatsSnapshot::capture() - Before;
+    setOpCounting(false);
+    return D.get(Stat::GatherOps);
+  };
 
   // Dense when |frontier| > |V|/denom: denom=1 never goes dense,
   // denom=2^30 makes the threshold zero (always dense).
   Table T({"graph", "never dense", "denom=4", "denom=20", "denom=100",
            "always dense"});
   const int Denoms[] = {1, 4, 20, 100, 1 << 30};
+  const int NumDenoms = static_cast<int>(sizeof(Denoms) / sizeof(Denoms[0]));
+  bool ChecksOk = true;
   for (const Input &In : makeAllInputs(Env.Scale)) {
     std::vector<std::string> Cells{In.Name};
-    for (int Denom : Denoms) {
+    std::uint64_t NeverPushed = 0, AlwaysPushed = 0;
+    for (int DI = 0; DI < NumDenoms; ++DI) {
+      int Denom = Denoms[DI];
       KernelConfig Cfg = KernelConfig::allOptimizations(*TS, Env.NumTasks);
       Cfg.HybridDenominator = Denom;
+      // Verify both extremes: the two ends exercise disjoint round
+      // implementations (pure worklist vs pure topology).
+      bool Verify =
+          Env.Verify && (DI == 0 || DI == NumDenoms - 1);
+      statsReset();
+      StatsSnapshot Before = StatsSnapshot::capture();
       double Ms = timeKernel(KernelKind::BfsHb, Target, In, Cfg, Env.Reps,
-                             Env.Verify && Denom == Denoms[0]);
+                             Verify);
+      StatsSnapshot D = StatsSnapshot::capture() - Before;
+      std::uint64_t Pushed =
+          D.get(Stat::ItemsPushed) /
+          static_cast<std::uint64_t>(Env.Reps + (Verify ? 1 : 0));
+      if (DI == 0)
+        NeverPushed = Pushed;
+      if (DI == NumDenoms - 1)
+        AlwaysPushed = Pushed;
       Cells.push_back(Table::fmt(Ms) + " ms");
+      Json.record({In.Name, std::to_string(Denom), Table::fmt(Ms, 3),
+                   Table::fmt(Pushed)});
+    }
+    if (CheckStats && In.Name == "rmat") {
+      if (AlwaysPushed == 0 || NeverPushed == 0) {
+        std::fprintf(stderr,
+                     "error: --checkstats: bfs-hb pushed no worklist items "
+                     "on rmat (always=%llu never=%llu)\n",
+                     static_cast<unsigned long long>(AlwaysPushed),
+                     static_cast<unsigned long long>(NeverPushed));
+        ChecksOk = false;
+      }
+      std::uint64_t NeverGathers = countedGathers(In, Denoms[0]);
+      std::uint64_t AlwaysGathers = countedGathers(In, Denoms[NumDenoms - 1]);
+      if (AlwaysGathers <= NeverGathers) {
+        std::fprintf(stderr,
+                     "error: --checkstats: always-dense bfs-hb executed "
+                     "%llu gather ops on rmat, never-dense %llu (dense "
+                     "rounds must rescan distances)\n",
+                     static_cast<unsigned long long>(AlwaysGathers),
+                     static_cast<unsigned long long>(NeverGathers));
+        ChecksOk = false;
+      }
     }
     T.addRow(std::move(Cells));
   }
@@ -43,5 +119,5 @@ int main(int Argc, char **Argv) {
               "long-diameter road graph; low-diameter rmat/random tolerate "
               "(or prefer) earlier dense switching. The default |V|/20 is "
               "safe everywhere.\n");
-  return 0;
+  return ChecksOk ? 0 : 1;
 }

@@ -8,6 +8,16 @@
 // smaller buffers keep the staged data hot in cache (a design trade-off of
 // the inspector-executor in Section III-B2).
 //
+//   $ bench_ablate_npbuffer --scale=8 [--reps=3] [--json=out.json]
+//   $ bench_ablate_npbuffer --scale=5 --reps=1 --checkstats=1   # CI
+//
+// --checkstats=1 verifies every capacity column (buffer size must never
+// change results; the default run verifies only the first) and exits
+// non-zero unless the smallest capacity on rmat actually drove edges
+// through the gather-flush path (NeighborGatherLanes > 0, taken from one
+// extra op-counted run — the lane counters sit behind the op-counting
+// gate, and counting skews wall clock).
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -18,12 +28,21 @@ using namespace egacs::simd;
 
 int main(int Argc, char **Argv) {
   BenchEnv Env(Argc, Argv);
+  bool CheckStats = Env.Opts.getBool("checkstats", false);
   banner("ablation - NP staging buffer capacity (default 4096)", Env);
   auto TS = Env.makeTs();
   TargetKind Target = bestTarget();
 
+  JsonLog Json(Env.JsonPath);
+  Json.meta("harness", "bench_ablate_npbuffer");
+  Json.meta("scale", std::to_string(Env.Scale));
+  Json.meta("tasks", std::to_string(Env.NumTasks));
+  Json.meta("target", targetName(Target));
+  Json.setColumns({"input", "kernel", "cap", "wall_ms", "gather_lanes"});
+
   Table T({"kernel", "graph", "cap=64", "cap=512", "cap=4096", "cap=32768"});
   const int Caps[] = {64, 512, 4096, 32768};
+  bool ChecksOk = true;
   for (const Input &In : makeAllInputs(Env.Scale)) {
     for (KernelKind Kind :
          {KernelKind::BfsWl, KernelKind::SsspNf, KernelKind::Cc}) {
@@ -31,13 +50,33 @@ int main(int Argc, char **Argv) {
       for (int Cap : Caps) {
         KernelConfig Cfg = KernelConfig::allOptimizations(*TS, Env.NumTasks);
         Cfg.NpBufferCapacity = Cap;
-        double Ms = timeKernel(Kind, Target, In, Cfg, Env.Reps,
-                               Env.Verify && Cap == Caps[0]);
+        double Ms =
+            timeKernel(Kind, Target, In, Cfg, Env.Reps,
+                       Env.Verify && (CheckStats || Cap == Caps[0]));
+        // The neighbor-lane counters sit behind the op-counting gate (and
+        // counting skews wall clock), so take them from one extra run.
+        statsReset();
+        setOpCounting(true);
+        StatsSnapshot Before = StatsSnapshot::capture();
+        timeKernel(Kind, Target, In, Cfg, 1, false);
+        StatsSnapshot D = StatsSnapshot::capture() - Before;
+        setOpCounting(false);
+        std::uint64_t GatherLanes = D.get(Stat::NeighborGatherLanes);
+        if (CheckStats && In.Name == "rmat" && Cap == Caps[0] &&
+            GatherLanes == 0) {
+          std::fprintf(stderr,
+                       "error: --checkstats: %s on rmat with cap=%d drove "
+                       "no lanes through the staging-buffer gather flush\n",
+                       kernelName(Kind), Cap);
+          ChecksOk = false;
+        }
         Cells.push_back(Table::fmt(Ms) + " ms");
+        Json.record({In.Name, kernelName(Kind), std::to_string(Cap),
+                     Table::fmt(Ms, 3), Table::fmt(GatherLanes)});
       }
       T.addRow(std::move(Cells));
     }
   }
   T.print();
-  return 0;
+  return ChecksOk ? 0 : 1;
 }

@@ -7,6 +7,13 @@
 // and SMT studies and reports that "pinning alone speeds up EGACS by 2% on
 // average" (Section IV). This harness measures the same delta.
 //
+//   $ bench_ablate_pinning --scale=8 [--reps=3] [--json=out.json]
+//   $ bench_ablate_pinning --scale=5 --reps=1 --checkstats=1   # CI
+//
+// --checkstats=1 additionally verifies the pinned runs (unpinned runs are
+// verified whenever --verify is on) and exits non-zero unless both task
+// systems actually launched tasks for every measured cell.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -19,6 +26,7 @@ using namespace egacs::simd;
 
 int main(int Argc, char **Argv) {
   BenchEnv Env(Argc, Argv);
+  bool CheckStats = Env.Opts.getBool("checkstats", false);
   banner("ablation - task pinning (paper: ~2% average gain)", Env);
   TargetKind Target = bestTarget();
 
@@ -26,9 +34,18 @@ int main(int Argc, char **Argv) {
   auto Pinned =
       makeTaskSystem(Env.TsKind, Env.NumTasks, PinPolicy{true, 1});
 
+  JsonLog Json(Env.JsonPath);
+  Json.meta("harness", "bench_ablate_pinning");
+  Json.meta("scale", std::to_string(Env.Scale));
+  Json.meta("tasks", std::to_string(Env.NumTasks));
+  Json.meta("target", targetName(Target));
+  Json.setColumns(
+      {"input", "kernel", "unpinned_ms", "pinned_ms", "speedup"});
+
   Table T({"kernel", "graph", "unpinned ms", "pinned ms", "pinning gain"});
   double Geo = 0.0;
   int N = 0;
+  bool ChecksOk = true;
   for (const Input &In : makeAllInputs(Env.Scale)) {
     for (KernelKind Kind : {KernelKind::BfsWl, KernelKind::Cc,
                             KernelKind::SsspNf, KernelKind::Pr}) {
@@ -36,15 +53,36 @@ int main(int Argc, char **Argv) {
                                                          Env.NumTasks);
       KernelConfig CfgP =
           KernelConfig::allOptimizations(*Pinned, Env.NumTasks);
+      statsReset();
+      StatsSnapshot Before = StatsSnapshot::capture();
       double MsU = timeKernel(Kind, Target, In, CfgU, Env.Reps, Env.Verify);
-      double MsP = timeKernel(Kind, Target, In, CfgP, Env.Reps, false);
+      StatsSnapshot MidSnap = StatsSnapshot::capture();
+      double MsP = timeKernel(Kind, Target, In, CfgP, Env.Reps,
+                              CheckStats && Env.Verify);
+      StatsSnapshot After = StatsSnapshot::capture();
+      if (CheckStats) {
+        std::uint64_t LaunchesU =
+            (MidSnap - Before).get(Stat::TaskLaunches);
+        std::uint64_t LaunchesP = (After - MidSnap).get(Stat::TaskLaunches);
+        if (LaunchesU == 0 || LaunchesP == 0) {
+          std::fprintf(stderr,
+                       "error: --checkstats: %s on %s launched no tasks "
+                       "(unpinned=%llu pinned=%llu)\n",
+                       kernelName(Kind), In.Name.c_str(),
+                       static_cast<unsigned long long>(LaunchesU),
+                       static_cast<unsigned long long>(LaunchesP));
+          ChecksOk = false;
+        }
+      }
       T.addRow({kernelName(Kind), In.Name, Table::fmt(MsU),
                 Table::fmt(MsP), Table::fmtSpeedup(MsU / MsP)});
+      Json.record({In.Name, kernelName(Kind), Table::fmt(MsU, 3),
+                   Table::fmt(MsP, 3), Table::fmt(MsU / MsP, 3)});
       Geo += std::log(MsU / MsP);
       ++N;
     }
   }
   T.print();
   std::printf("\ngeomean pinning gain: %.3fx\n", std::exp(Geo / N));
-  return 0;
+  return ChecksOk ? 0 : 1;
 }

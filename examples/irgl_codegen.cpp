@@ -11,6 +11,7 @@
 //   $ ./irgl_codegen [--program=bfs|bfstp|cc|sssp] [--io=0] [--np=0] [--cc=0]
 //                    [--fibers=0] [--emit=irgl|cpp|both]
 //                    [--layout=csr|hubcsr|sell]
+//                    [--direction=push|pull|hybrid] [--alpha=15] [--beta=18]
 //
 //===----------------------------------------------------------------------===//
 
@@ -48,6 +49,9 @@ int main(int Argc, char **Argv) {
   if (Emit == "cpp" || Emit == "both") {
     CodeGenOptions CG;
     CG.Layout = parseLayoutKind(Opts.getString("layout", "csr"));
+    CG.Dir = parseDirection(Opts.getString("direction", "push"));
+    CG.AlphaNum = static_cast<int>(Opts.getInt("alpha", CG.AlphaNum));
+    CG.BetaDenom = static_cast<int>(Opts.getInt("beta", CG.BetaDenom));
     std::printf("// ---- generated SPMD C++ ----\n%s",
                 emitCpp(P, CG).c_str());
   }

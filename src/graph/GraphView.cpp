@@ -185,6 +185,28 @@ AnyLayout AnyLayout::fromSellImage(const Csr &G, SellImage Img) {
   return L;
 }
 
+void AnyLayout::buildTranspose(const LayoutOptions &Opts) {
+  adoptTranspose(std::make_shared<const Csr>(csr().transpose()), Opts);
+}
+
+void AnyLayout::adoptTranspose(std::shared_ptr<const Csr> T,
+                               const LayoutOptions &Opts) {
+  TGraph = std::move(T);
+  TPlain = CsrView(*TGraph);
+  THub.reset();
+  TSell.reset();
+  switch (Kind) {
+  case LayoutKind::Csr:
+    break;
+  case LayoutKind::HubCsr:
+    THub.emplace(*TGraph, Opts);
+    break;
+  case LayoutKind::Sell:
+    TSell.emplace(*TGraph, Opts);
+    break;
+  }
+}
+
 std::size_t AnyLayout::layoutAuxBytes() const {
   return visit([](const auto &V) { return V.layoutAuxBytes(); });
 }

@@ -47,6 +47,7 @@
 #include "support/AlignedBuffer.h"
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <type_traits>
@@ -347,6 +348,19 @@ public:
   const HubCsrView *hub() const { return Hub ? &*Hub : nullptr; }
   const SellView *sell() const { return SellV ? &*SellV : nullptr; }
 
+  /// Computes the transposed graph (Csr::transpose) and builds the
+  /// same-kind view over it, enabling the pull-direction kernels. \p Opts
+  /// should match the options the forward layout was built with so the
+  /// transposed SELL/Hub view gets the same chunk/threshold shape.
+  void buildTranspose(const LayoutOptions &Opts = {});
+  /// Adopts an already-computed transpose (e.g. restored from the binary
+  /// graph cache, see graph/Loader.h) instead of recomputing it.
+  void adoptTranspose(std::shared_ptr<const Csr> T,
+                      const LayoutOptions &Opts = {});
+  bool hasTranspose() const { return TGraph != nullptr; }
+  /// The transposed graph, or nullptr before buildTranspose().
+  const Csr *transpose() const { return TGraph.get(); }
+
   /// Bytes of layout metadata beyond the CSR arrays.
   std::size_t layoutAuxBytes() const;
 
@@ -363,11 +377,32 @@ public:
     return F(Plain);
   }
 
+  /// Invokes \p F with the statically typed forward view and a pointer to
+  /// the same-typed view over the transposed graph (nullptr before
+  /// buildTranspose()); the direction-optimizing kernels consume the pair.
+  template <typename Fn> decltype(auto) visitWithTranspose(Fn &&F) const {
+    switch (Kind) {
+    case LayoutKind::HubCsr:
+      return F(*Hub, THub ? &*THub : nullptr);
+    case LayoutKind::Sell:
+      return F(*SellV, TSell ? &*TSell : nullptr);
+    case LayoutKind::Csr:
+      break;
+    }
+    return F(Plain, TGraph ? &TPlain : nullptr);
+  }
+
 private:
   LayoutKind Kind = LayoutKind::Csr;
   CsrView Plain;
   std::optional<HubCsrView> Hub;
   std::optional<SellView> SellV;
+  /// Transposed graph + same-kind views (shared_ptr keeps the Csr's address
+  /// stable across AnyLayout moves; the views point into it).
+  std::shared_ptr<const Csr> TGraph;
+  CsrView TPlain;
+  std::optional<HubCsrView> THub;
+  std::optional<SellView> TSell;
 };
 
 // --- SIMD-facing vector surface ----------------------------------------------

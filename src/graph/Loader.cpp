@@ -147,15 +147,19 @@ std::optional<Csr> egacs::loadEdgeList(const std::string &Path,
 //
 // v1: header + Rows + Dsts [+ Weights].
 // v2: the v1 payload, then a u32 HasSell flag, then (when set) a SellHeader
-//     and the five SELL arrays. v1 files remain readable; v1 readers reject
-//     v2 by version number rather than misparsing it.
+//     and the five SELL arrays.
+// v3: the v2 payload, then a u32 HasTranspose flag, then (when set) the
+//     transposed CSR's Rows + Dsts [+ Weights] (same node/edge counts and
+//     weight flag as the forward graph, so no extra header is needed).
+// Older files remain readable; older readers reject newer files by version
+// number rather than misparsing them.
 //===----------------------------------------------------------------------===//
 
 namespace {
 
 constexpr char BinaryMagic[4] = {'E', 'G', 'C', 'S'};
-constexpr std::uint32_t BinaryVersion = 2;
-constexpr std::uint32_t OldBinaryVersion = 1;
+constexpr std::uint32_t BinaryVersion = 3;
+constexpr std::uint32_t MinBinaryVersion = 1;
 
 struct BinaryHeader {
   char Magic[4];
@@ -225,7 +229,34 @@ bool readSellImage(std::FILE *File, const BinaryHeader &H,
   return true;
 }
 
-/// Shared v1/v2 loader.
+/// Reads the v3 transpose trailer. Returns false on I/O error or an
+/// inconsistent payload (corrupt trailer => corrupt file).
+bool readTranspose(std::FILE *File, const BinaryHeader &H,
+                   std::optional<Csr> &Out) {
+  std::uint32_t HasT = 0;
+  if (std::fread(&HasT, sizeof(HasT), 1, File) != 1)
+    return false;
+  if (!HasT)
+    return true;
+  AlignedBuffer<EdgeId> Rows(static_cast<std::size_t>(H.NumNodes) + 1);
+  AlignedBuffer<NodeId> Dsts(static_cast<std::size_t>(H.NumEdges));
+  AlignedBuffer<Weight> Weights;
+  if (!readArray(File, Rows.data(), Rows.size()) ||
+      !readArray(File, Dsts.data(), Dsts.size()))
+    return false;
+  if (H.HasWeights) {
+    Weights.allocate(static_cast<std::size_t>(H.NumEdges));
+    if (!readArray(File, Weights.data(), Weights.size()))
+      return false;
+  }
+  if (Rows[static_cast<std::size_t>(H.NumNodes)] != H.NumEdges)
+    return false;
+  Out.emplace(H.NumNodes, std::move(Rows), std::move(Dsts),
+              std::move(Weights));
+  return true;
+}
+
+/// Shared v1/v2/v3 loader.
 std::optional<LoadedGraph> loadBinaryImpl(const std::string &Path,
                                           bool WantSell) {
   std::FILE *File = std::fopen(Path.c_str(), "rb");
@@ -234,7 +265,7 @@ std::optional<LoadedGraph> loadBinaryImpl(const std::string &Path,
   BinaryHeader H;
   if (std::fread(&H, sizeof(H), 1, File) != 1 ||
       std::memcmp(H.Magic, BinaryMagic, 4) != 0 ||
-      (H.Version != BinaryVersion && H.Version != OldBinaryVersion) ||
+      H.Version < MinBinaryVersion || H.Version > BinaryVersion ||
       H.NumNodes < 0 || H.NumEdges < 0) {
     std::fclose(File);
     return std::nullopt;
@@ -251,20 +282,23 @@ std::optional<LoadedGraph> loadBinaryImpl(const std::string &Path,
                          static_cast<std::size_t>(H.NumEdges));
   }
   std::optional<SellImage> Sell;
+  std::optional<Csr> Transpose;
   if (Ok && WantSell && H.Version >= 2)
     Ok = readSellImage(File, H, Sell);
+  if (Ok && WantSell && H.Version >= 3)
+    Ok = readTranspose(File, H, Transpose);
   std::fclose(File);
   if (!Ok || Rows[static_cast<std::size_t>(H.NumNodes)] != H.NumEdges)
     return std::nullopt;
   return LoadedGraph{Csr(H.NumNodes, std::move(Rows), std::move(Dsts),
                          std::move(Weights)),
-                     std::move(Sell)};
+                     std::move(Sell), std::move(Transpose)};
 }
 
 } // namespace
 
 bool egacs::saveBinaryCsr(const Csr &G, const std::string &Path,
-                          const SellImage *Sell) {
+                          const SellImage *Sell, const Csr *Transpose) {
   std::FILE *File = std::fopen(Path.c_str(), "wb");
   if (!File)
     return false;
@@ -297,6 +331,22 @@ bool egacs::saveBinaryCsr(const Csr &G, const std::string &Path,
     Ok = Ok && writeArray(File, Sell->SliceOff.data(), Sell->SliceOff.size());
     Ok = Ok && writeArray(File, Sell->SellDst.data(), Sell->SellDst.size());
     Ok = Ok && writeArray(File, Sell->SellEdge.data(), Sell->SellEdge.size());
+  }
+  std::uint32_t HasTranspose = Transpose != nullptr;
+  Ok = Ok && std::fwrite(&HasTranspose, sizeof(HasTranspose), 1, File) == 1;
+  if (Transpose) {
+    // The transpose of G has the same node/edge counts and weight flag, so
+    // the main header describes it too.
+    Ok = Ok && Transpose->numNodes() == G.numNodes() &&
+         Transpose->numEdges() == G.numEdges() &&
+         Transpose->hasWeights() == G.hasWeights();
+    Ok = Ok && writeArray(File, Transpose->rowStart(),
+                          static_cast<std::size_t>(G.numNodes()) + 1);
+    Ok = Ok && writeArray(File, Transpose->edgeDst(),
+                          static_cast<std::size_t>(G.numEdges()));
+    if (G.hasWeights())
+      Ok = Ok && writeArray(File, Transpose->edgeWeight(),
+                            static_cast<std::size_t>(G.numEdges()));
   }
   std::fclose(File);
   return Ok;

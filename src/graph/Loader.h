@@ -12,10 +12,11 @@
 /// between benchmark runs. Parse failures print a diagnostic on stderr
 /// naming the file, line and reason, then return std::nullopt.
 ///
-/// The binary cache is version 2: the v1 CSR payload followed by an
-/// optional prebuilt SELL-C-sigma image (graph/GraphView.h), so the
-/// layout-ablation benches skip the degree sort on reload. Version-1 files
-/// remain readable.
+/// The binary cache is version 3: the v1 CSR payload, then an optional
+/// prebuilt SELL-C-sigma image (v2, graph/GraphView.h) so the
+/// layout-ablation benches skip the degree sort on reload, then an optional
+/// transposed CSR (v3) so the direction-optimizing kernels skip the
+/// transpose build. Version-1 and version-2 files remain readable.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,25 +44,29 @@ std::optional<Csr> loadDimacs(const std::string &Path,
 std::optional<Csr> loadEdgeList(const std::string &Path,
                                 bool Symmetrize = false);
 
-/// A cache-loaded graph: the CSR plus, for v2 files that stored one, the
-/// prebuilt SELL-C-sigma image (adopt with AnyLayout::fromSellImage or
-/// SellView(G, std::move(*Sell))).
+/// A cache-loaded graph: the CSR plus, when the file stored them, the
+/// prebuilt SELL-C-sigma image (v2+, adopt with AnyLayout::fromSellImage or
+/// SellView(G, std::move(*Sell))) and the transposed CSR (v3, adopt with
+/// AnyLayout::adoptTranspose).
 struct LoadedGraph {
   Csr G;
   std::optional<SellImage> Sell;
+  std::optional<Csr> Transpose;
 };
 
-/// Saves the binary cache (magic "EGCS", version 2). When \p Sell is
+/// Saves the binary cache (magic "EGCS", version 3). When \p Sell is
 /// non-null its image is persisted after the CSR payload so reloads skip
-/// the SELL build.
+/// the SELL build; when \p Transpose is non-null (it must be
+/// G.transpose()'s result) the transposed CSR follows so the pull-direction
+/// kernels skip the transpose build.
 bool saveBinaryCsr(const Csr &G, const std::string &Path,
-                   const SellImage *Sell = nullptr);
+                   const SellImage *Sell = nullptr,
+                   const Csr *Transpose = nullptr);
 
-/// Loads the CSR from a version-1 or version-2 cache file, ignoring any
-/// stored SELL image.
+/// Loads the CSR from any cache version, ignoring the stored trailers.
 std::optional<Csr> loadBinaryCsr(const std::string &Path);
 
-/// Loads the CSR plus the stored SELL image, if any.
+/// Loads the CSR plus the stored SELL image and transpose, if any.
 std::optional<LoadedGraph> loadBinaryGraph(const std::string &Path);
 
 } // namespace egacs

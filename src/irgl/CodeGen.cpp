@@ -233,6 +233,20 @@ const char *layoutEnumName(egacs::LayoutKind K) {
   return "Csr";
 }
 
+/// The C++ enumerator name for a traversal direction (for emitted source).
+const char *directionEnumName(egacs::Direction D) {
+  switch (D) {
+  case egacs::Direction::Push:
+    return "Push";
+  case egacs::Direction::Pull:
+    return "Pull";
+  case egacs::Direction::Hybrid:
+    return "Hybrid";
+  }
+  assert(false && "invalid direction");
+  return "Push";
+}
+
 /// Classifies every State-array reference of \p K by the variable indexing
 /// it (loop node, edge destination, or CSR edge index) and renders the
 /// kernel's prefetch-plan construction: kernelPrefetchPlan(Cfg) plus one
@@ -403,8 +417,14 @@ void emitPipe(std::string &Out, const Program &P, const Pipe &Pp,
   Out += "  LayoutOptions LOpts;\n";
   Out += "  LOpts.SellChunk = BK::Width;\n";
   Out += "  LOpts.SellSigma = Cfg.SellSigma;\n";
+  Out += "  Cfg.Dir = Direction::" +
+         std::string(directionEnumName(Opts.Dir)) + ";\n";
+  Out += "  Cfg.AlphaNum = " + std::to_string(Opts.AlphaNum) + ";\n";
+  Out += "  Cfg.BetaDenom = " + std::to_string(Opts.BetaDenom) + ";\n";
   Out += "  AnyLayout Layout = AnyLayout::build(LayoutKind::" +
          std::string(layoutEnumName(Opts.Layout)) + ", G, LOpts);\n";
+  if (Opts.Dir != egacs::Direction::Push)
+    Out += "  Layout.buildTranspose(LOpts);\n";
   Out += "  Layout.visit([&](const auto &View) {\n";
   Out += "    " + Pp.Name + "_run<BK>(View, Cfg, State, Source);\n";
   Out += "  });\n";

@@ -22,6 +22,7 @@
 
 #include "graph/GraphView.h"
 #include "irgl/Ast.h"
+#include "kernels/KernelConfig.h"
 
 #include <string>
 
@@ -37,6 +38,16 @@ struct CodeGenOptions {
   /// examples/irgl_codegen). The kernels themselves are emitted against
   /// the GraphView surface and work with any layout.
   LayoutKind Layout = LayoutKind::Csr;
+  /// Traversal direction `<pipe>_run_auto` configures on the KernelConfig
+  /// (the --direction= knob). For Pull/Hybrid the driver also builds the
+  /// transposed layout alongside the forward one, so direction-capable
+  /// library kernels composed with the generated state have it available;
+  /// the generated pipes themselves always execute their push form.
+  Direction Dir = Direction::Push;
+  /// Beamer alpha numerator for Hybrid (--alpha=), see KernelConfig.
+  int AlphaNum = 15;
+  /// Beamer beta denominator for Hybrid (--beta=), see KernelConfig.
+  int BetaDenom = 18;
 };
 
 /// Emits a C++ translation unit implementing \p P: a state struct holding

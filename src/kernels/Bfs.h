@@ -73,12 +73,156 @@ inline PrefetchPlan bfsPlan(const KernelConfig &Cfg,
   return PF;
 }
 
+/// The direction-optimizing BFS driver behind bfs-wl and bfs-hb when
+/// Cfg.Dir is Pull or Hybrid. \p GT views the transposed graph. Push rounds
+/// are the exact sparse rounds of the push-only path; pull rounds scan all
+/// still-unvisited destinations, gather their in-neighbors against the
+/// current frontier bitmap, and retire each lane on its first in-frontier
+/// parent (no worklist pushes, no CAS: every destination is lane-owned, so
+/// distances and next-frontier bits are written once). Hybrid switches per
+/// Beamer's alpha/beta heuristic: go pull when the frontier's out-edges
+/// exceed 1/AlphaNum of the unexplored edges, back to push when the
+/// frontier shrinks under numNodes/BetaDenom.
+template <typename BK, typename VT>
+std::vector<std::int32_t> bfsDirection(const VT &G, const VT &GT,
+                                       const KernelConfig &Cfg, NodeId Source,
+                                       bool FiberLevelCc) {
+  using namespace simd;
+  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
+                                 InfDist);
+  Dist[static_cast<std::size_t>(Source)] = 0;
+
+  WorklistPair WL(static_cast<std::size_t>(G.numNodes()) + 64);
+  WL.in().pushSerial(Source);
+  auto Locals = makeTaskLocals(
+      Cfg, static_cast<std::size_t>(G.numNodes()) / Cfg.NumTasks + 4096);
+  auto Sched = makeLoopScheduler(Cfg, G.numNodes() + 64);
+  PrefetchPlan PF = bfsPlan(Cfg, Dist.data());
+  std::int32_t Level = 0;
+
+  BitmapFrontier BmpA(G.numNodes(), Cfg.NumTasks);
+  BitmapFrontier BmpB(G.numNodes(), Cfg.NumTasks);
+  BitmapFrontier *CurB = &BmpA, *NextB = &BmpB;
+  DirRoundMode Mode = Cfg.Dir == Direction::Pull ? DirRoundMode::PullEnter
+                                                 : DirRoundMode::Push;
+  std::int64_t EdgesToCheck = static_cast<std::int64_t>(G.numEdges());
+  const int Alpha = Cfg.AlphaNum > 0 ? Cfg.AlphaNum : 15;
+  const int Beta = Cfg.BetaDenom > 0 ? Cfg.BetaDenom : 18;
+
+  TaskFn Prepare = [&](int TaskIdx, int TaskCount) {
+    switch (Mode) {
+    case DirRoundMode::Push:
+      return;
+    case DirRoundMode::PullEnter:
+      CurB->clearSlice(TaskIdx, TaskCount);
+      NextB->clearSlice(TaskIdx, TaskCount);
+      return;
+    case DirRoundMode::Pull:
+      NextB->clearSlice(TaskIdx, TaskCount);
+      return;
+    case DirRoundMode::PushEnter:
+      CurB->countSlice(TaskIdx, TaskCount);
+      return;
+    }
+  };
+  TaskFn Convert = [&](int TaskIdx, int TaskCount) {
+    if (Mode == DirRoundMode::PullEnter)
+      CurB->fromWorklistSlice<BK>(WL.in(), TaskIdx, TaskCount);
+    else if (Mode == DirRoundMode::PushEnter)
+      CurB->toWorklistSlice<BK>(WL.in(), TaskIdx, TaskCount);
+  };
+  TaskFn Main = [&](int TaskIdx, int TaskCount) {
+    if (!dirModeIsPull(Mode)) {
+      bfsSparseRound<BK>(Cfg, *Sched, G, Dist.data(), Level + 1, WL.in(),
+                         WL.out(), *Locals[TaskIdx], TaskIdx, TaskCount,
+                         FiberLevelCc, PF);
+      return;
+    }
+    std::int64_t Scanned = 0, Exits = 0, Fresh = 0;
+    VInt<BK> Next = splat<BK>(Level + 1);
+    forEachNodeSlice<BK>(
+        GT, *Sched, TaskIdx, TaskCount,
+        [&](VInt<BK> Node, VMask<BK> Act, std::int64_t Slot) {
+          VMask<BK> Unvisited =
+              Act &
+              (gather<BK>(Dist.data(), Node, Act) == splat<BK>(InfDist));
+          if (!any(Unvisited))
+            return;
+          VMask<BK> Found = maskNone<BK>();
+          pullForEachEdge<BK>(
+              GT, Node, Unvisited,
+              [&](VInt<BK>, VInt<BK> Src, VInt<BK>, VMask<BK> Live) {
+                Scanned += popcount(Live);
+                VMask<BK> Hit = CurB->testVector<BK>(Src, Live);
+                Found = Found | Hit;
+                return Live & ~Hit;
+              },
+              Slot, &Exits);
+          if (any(Found)) {
+            scatter<BK>(Dist.data(), Node, Next, Found);
+            Fresh += NextB->setVector<BK>(Node, Found);
+          }
+        });
+    NextB->addCount(TaskIdx, Fresh);
+    EGACS_STAT_ADD(PullEdgesScanned, static_cast<std::uint64_t>(Scanned));
+    EGACS_STAT_ADD(PullEarlyExits, static_cast<std::uint64_t>(Exits));
+  };
+
+  runPipe(Cfg, std::vector<TaskFn>{Prepare, Convert, Main}, [&] {
+    bool WasPull = dirModeIsPull(Mode);
+    std::int64_t FrontierSize;
+    if (WasPull) {
+      std::swap(CurB, NextB);
+      FrontierSize = CurB->totalCount();
+    } else {
+      WL.swap();
+      FrontierSize = WL.in().size();
+    }
+    ++Level;
+    if (FrontierSize == 0)
+      return false;
+    if (Cfg.Dir == Direction::Pull) {
+      Mode = WasPull ? DirRoundMode::Pull : DirRoundMode::PullEnter;
+      return true;
+    }
+    if (!WasPull) {
+      std::int64_t Scout = frontierEdges(G, WL.in());
+      EdgesToCheck -= Scout;
+      if (Scout > EdgesToCheck / Alpha) {
+        Mode = DirRoundMode::PullEnter;
+        EGACS_STAT_ADD(DirectionSwitches, 1);
+        EGACS_STAT_ADD(FrontierConversions, 1);
+      } else {
+        Mode = DirRoundMode::Push;
+      }
+    } else if (FrontierSize < G.numNodes() / Beta) {
+      // The conversion phases refill WL.in() from the bitmap; the sparse
+      // round then pushes into WL.out(). Both lists are stale from before
+      // the pull stretch.
+      WL.in().clear();
+      WL.out().clear();
+      Mode = DirRoundMode::PushEnter;
+      EGACS_STAT_ADD(DirectionSwitches, 1);
+      EGACS_STAT_ADD(FrontierConversions, 1);
+    } else {
+      Mode = DirRoundMode::Pull;
+    }
+    return true;
+  });
+  return Dist;
+}
+
 } // namespace bfs_detail
 
-/// bfs-wl: worklist level-synchronous BFS.
+/// bfs-wl: worklist level-synchronous BFS. A non-null \p GT (the transposed
+/// view) plus Cfg.Dir != Push engages the direction-optimizing driver; the
+/// push-only path below is byte-for-byte the pre-direction kernel.
 template <typename BK, typename VT>
 std::vector<std::int32_t> bfsWl(const VT &G, const KernelConfig &Cfg,
-                                NodeId Source) {
+                                NodeId Source, const VT *GT = nullptr) {
+  if (Cfg.Dir != Direction::Push && GT && G.numNodes() != 0)
+    return bfs_detail::bfsDirection<BK>(G, *GT, Cfg, Source,
+                                        /*FiberLevelCc=*/false);
   std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
                                  InfDist);
   if (G.numNodes() == 0)
@@ -182,8 +326,10 @@ std::vector<std::int32_t> bfsTp(const VT &G, const KernelConfig &Cfg,
         forEachNodeSlice<BK>(
             G, *Sched, TaskIdx, TaskCount, PF, TL.Pf,
             [&](VInt<BK> Node, VMask<BK> Act, std::int64_t Slot) {
+              // Relaxed gather: other tasks CAS Level+1 into Dist during
+              // this same scan, and the == Cur test must not be a data race.
               VMask<BK> OnLevel =
-                  Act & (gather<BK>(Dist.data(), Node, Act) == Cur);
+                  Act & (gatherRelaxed<BK>(Dist.data(), Node, Act) == Cur);
               if (any(OnLevel))
                 visitEdges<BK>(Cfg, G, Node, OnLevel, TL.Np, OnEdge, Slot);
             });
@@ -201,10 +347,16 @@ std::vector<std::int32_t> bfsTp(const VT &G, const KernelConfig &Cfg,
 }
 
 /// bfs-hb: hybrid BFS; dense rounds when the frontier exceeds 1/HybridDenom
-/// of the nodes, sparse rounds otherwise.
+/// of the nodes, sparse rounds otherwise. With Cfg.Dir != Push and a
+/// transposed view \p GT, the dense rounds become pull rounds over the
+/// bitmap frontier (the direction-optimizing driver) instead of dense push
+/// rescans.
 template <typename BK, typename VT>
 std::vector<std::int32_t> bfsHb(const VT &G, const KernelConfig &Cfg,
-                                NodeId Source) {
+                                NodeId Source, const VT *GT = nullptr) {
+  if (Cfg.Dir != Direction::Push && GT && G.numNodes() != 0)
+    return bfs_detail::bfsDirection<BK>(G, *GT, Cfg, Source,
+                                        /*FiberLevelCc=*/true);
   int HybridDenom = Cfg.HybridDenominator;
   using namespace simd;
   std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
@@ -250,8 +402,10 @@ std::vector<std::int32_t> bfsHb(const VT &G, const KernelConfig &Cfg,
         forEachNodeSlice<BK>(
             G, *Sched, TaskIdx, TaskCount, PF, TL.Pf,
             [&](VInt<BK> Node, VMask<BK> Act, std::int64_t Slot) {
+              // Relaxed gather: other tasks CAS Level+1 into Dist during
+              // this same scan, and the == Cur test must not be a data race.
               VMask<BK> OnLevel =
-                  Act & (gather<BK>(Dist.data(), Node, Act) == Cur);
+                  Act & (gatherRelaxed<BK>(Dist.data(), Node, Act) == Cur);
               if (any(OnLevel))
                 visitEdges<BK>(Cfg, G, Node, OnLevel, TL.Np, OnEdge, Slot);
             });

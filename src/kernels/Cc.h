@@ -23,11 +23,177 @@
 
 namespace egacs {
 
+namespace cc_detail {
+
+/// Direction-optimizing label propagation (Cfg.Dir is Pull or Hybrid).
+/// Pull rounds scan every destination over the transposed view \p GT and
+/// take the min label over its *in-frontier* in-neighbors — the frontier
+/// bitmap filters which labels are worth gathering, and the one CAS-min per
+/// improving destination replaces the per-edge CAS storm of the push
+/// rounds. There is no early exit (a min needs every frontier in-neighbor),
+/// so pull pays a full in-edge sweep per round; Hybrid therefore drops back
+/// to sparse push rounds once the changed-label set is small
+/// (numNodes/BetaDenom) and returns to pull when the frontier's out-edges
+/// exceed numEdges/AlphaNum. The first round starts pull from an all-set
+/// bitmap: initially every label "changed".
+template <typename BK, typename VT>
+std::vector<std::int32_t> ccDirection(const VT &G, const VT &GT,
+                                      const KernelConfig &Cfg) {
+  using namespace simd;
+  std::vector<std::int32_t> Comp(static_cast<std::size_t>(G.numNodes()));
+  std::iota(Comp.begin(), Comp.end(), 0);
+
+  std::size_t Cap = 2 * (static_cast<std::size_t>(G.numEdges()) +
+                         static_cast<std::size_t>(G.numNodes())) +
+                    64;
+  WorklistPair WL(Cap);
+  auto Locals = makeTaskLocals(Cfg);
+  auto Sched = makeLoopScheduler(Cfg, static_cast<std::int64_t>(Cap));
+  PrefetchPlan PF = kernelPrefetchPlan(Cfg);
+  PF.addProp(Comp.data(), static_cast<int>(sizeof(std::int32_t)),
+             PrefetchIndexKind::Node);
+  PF.addProp(Comp.data(), static_cast<int>(sizeof(std::int32_t)),
+             PrefetchIndexKind::Dst);
+
+  BitmapFrontier BmpA(G.numNodes(), Cfg.NumTasks);
+  BitmapFrontier BmpB(G.numNodes(), Cfg.NumTasks);
+  BitmapFrontier *CurB = &BmpA, *NextB = &BmpB;
+  CurB->setAllSerial();
+  DirRoundMode Mode = DirRoundMode::Pull;
+  const int Alpha = Cfg.AlphaNum > 0 ? Cfg.AlphaNum : 15;
+  const int Beta = Cfg.BetaDenom > 0 ? Cfg.BetaDenom : 18;
+
+  TaskFn Prepare = [&](int TaskIdx, int TaskCount) {
+    switch (Mode) {
+    case DirRoundMode::Push:
+      return;
+    case DirRoundMode::PullEnter:
+      CurB->clearSlice(TaskIdx, TaskCount);
+      NextB->clearSlice(TaskIdx, TaskCount);
+      return;
+    case DirRoundMode::Pull:
+      NextB->clearSlice(TaskIdx, TaskCount);
+      return;
+    case DirRoundMode::PushEnter:
+      CurB->countSlice(TaskIdx, TaskCount);
+      return;
+    }
+  };
+  TaskFn Convert = [&](int TaskIdx, int TaskCount) {
+    if (Mode == DirRoundMode::PullEnter)
+      CurB->fromWorklistSlice<BK>(WL.in(), TaskIdx, TaskCount);
+    else if (Mode == DirRoundMode::PushEnter)
+      CurB->toWorklistSlice<BK>(WL.in(), TaskIdx, TaskCount);
+  };
+  TaskFn Main = [&](int TaskIdx, int TaskCount) {
+    if (!dirModeIsPull(Mode)) {
+      TaskLocal &TL = *Locals[TaskIdx];
+      TL.armPrefetch(PF);
+      auto OnEdge = [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>,
+                        VMask<BK> EAct) {
+        // Relaxed gather: source labels are concurrently hooked by other
+        // tasks' CAS-min writes within the round.
+        VInt<BK> Label = gatherRelaxed<BK>(Comp.data(), Src, EAct);
+        VMask<BK> Won =
+            updateMinVector<BK>(Cfg.Update, Comp.data(), Dst, Label, EAct);
+        if (any(Won))
+          pushFrontier<BK>(Cfg, WL.out(), nullptr, Dst, Won);
+      };
+      forEachWorklistSlice<BK>(Cfg, G, *Sched, WL.in().items(),
+                               WL.in().size(), TaskIdx, TaskCount, PF, TL.Pf,
+                               [&](VInt<BK> Node, VMask<BK> Act) {
+                                 visitEdges<BK>(Cfg, G, Node, Act, TL.Np,
+                                                OnEdge);
+                               });
+      flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
+      return;
+    }
+    std::int64_t Scanned = 0, Fresh = 0;
+    forEachNodeSlice<BK>(
+        GT, *Sched, TaskIdx, TaskCount,
+        [&](VInt<BK> Node, VMask<BK> Act, std::int64_t Slot) {
+          VInt<BK> Best = splat<BK>(0x7fffffff);
+          VMask<BK> AnyHit = maskNone<BK>();
+          pullForEachEdge<BK>(
+              GT, Node, Act,
+              [&](VInt<BK>, VInt<BK> Src, VInt<BK>, VMask<BK> Live) {
+                Scanned += popcount(Live);
+                VMask<BK> Hit = CurB->testVector<BK>(Src, Live);
+                if (any(Hit)) {
+                  // Relaxed: sources may be CAS-hooked by other lanes'
+                  // destination writes within this pull round.
+                  VInt<BK> L = gatherRelaxed<BK>(Comp.data(), Src, Hit);
+                  Best = select<BK>(Hit, vmin<BK>(Best, L), Best);
+                  AnyHit = AnyHit | Hit;
+                }
+                return Live;
+              },
+              Slot);
+          if (any(AnyHit)) {
+            VMask<BK> Won =
+                atomicMinVector<BK>(Comp.data(), Node, Best, AnyHit);
+            Fresh += NextB->setVector<BK>(Node, Won);
+          }
+        });
+    NextB->addCount(TaskIdx, Fresh);
+    EGACS_STAT_ADD(PullEdgesScanned, static_cast<std::uint64_t>(Scanned));
+  };
+
+  runPipe(Cfg, std::vector<TaskFn>{Prepare, Convert, Main}, [&] {
+    bool WasPull = dirModeIsPull(Mode);
+    std::int64_t FrontierSize;
+    if (WasPull) {
+      std::swap(CurB, NextB);
+      FrontierSize = CurB->totalCount();
+    } else {
+      WL.swap();
+      FrontierSize = WL.in().size();
+    }
+    if (FrontierSize == 0)
+      return false;
+    if (Cfg.Dir == Direction::Pull) {
+      Mode = DirRoundMode::Pull;
+      return true;
+    }
+    if (WasPull) {
+      if (FrontierSize < G.numNodes() / Beta) {
+        WL.in().clear();
+        WL.out().clear();
+        Mode = DirRoundMode::PushEnter;
+        EGACS_STAT_ADD(DirectionSwitches, 1);
+        EGACS_STAT_ADD(FrontierConversions, 1);
+      } else {
+        Mode = DirRoundMode::Pull;
+      }
+    } else {
+      // The push worklist may hold duplicates (one push per label win), so
+      // the scout count can overcount; it is only a switching heuristic.
+      std::int64_t Scout = frontierEdges(G, WL.in());
+      if (Scout > static_cast<std::int64_t>(G.numEdges()) / Alpha) {
+        Mode = DirRoundMode::PullEnter;
+        EGACS_STAT_ADD(DirectionSwitches, 1);
+        EGACS_STAT_ADD(FrontierConversions, 1);
+      } else {
+        Mode = DirRoundMode::Push;
+      }
+    }
+    return true;
+  });
+  return Comp;
+}
+
+} // namespace cc_detail
+
 /// cc: label-propagation components; returns per-node component labels.
+/// With Cfg.Dir != Push and a transposed view \p GT the direction-
+/// optimizing driver above runs instead of the push-only pipe.
 template <typename BK, typename VT>
 std::vector<std::int32_t> connectedComponents(const VT &G,
-                                              const KernelConfig &Cfg) {
+                                              const KernelConfig &Cfg,
+                                              const VT *GT = nullptr) {
   using namespace simd;
+  if (Cfg.Dir != Direction::Push && GT && G.numNodes() != 0)
+    return cc_detail::ccDirection<BK>(G, *GT, Cfg);
   std::vector<std::int32_t> Comp(static_cast<std::size_t>(G.numNodes()));
   std::iota(Comp.begin(), Comp.end(), 0);
   if (G.numNodes() == 0)
@@ -58,7 +224,9 @@ std::vector<std::int32_t> connectedComponents(const VT &G,
         TL.armPrefetch(PF);
         auto OnEdge = [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>,
                           VMask<BK> EAct) {
-          VInt<BK> Label = gather<BK>(Comp.data(), Src, EAct);
+          // Relaxed gather: source labels are concurrently hooked by other
+          // tasks' CAS-min writes within the round.
+          VInt<BK> Label = gatherRelaxed<BK>(Comp.data(), Src, EAct);
           // Label hooking through the update engine: non-Atomic policies
           // pre-reduce same-destination lanes so each distinct destination
           // costs one CAS chain (and is pushed at most once per vector).

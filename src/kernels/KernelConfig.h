@@ -28,6 +28,25 @@
 
 namespace egacs {
 
+/// Traversal direction for the frontier-driven kernels (bfs-hb, bfs-wl,
+/// cc, pr). Push is the paper's topology/worklist push style; Pull drives
+/// every round from the transposed graph (destinations gather in-neighbors
+/// against a bitmap frontier, early-exiting on first hit); Hybrid switches
+/// per round with the Beamer alpha/beta heuristic. Kernels without a
+/// frontier ignore the knob.
+enum class Direction {
+  Push,
+  Pull,
+  Hybrid,
+};
+
+/// Returns the harness name of \p D ("push", "pull", "hybrid").
+const char *directionName(Direction D);
+
+/// Parses a --direction= value; prints the valid set and exits 2 on an
+/// unknown name (command-line parsing helper, mirroring parseLayoutKind).
+Direction parseDirection(const std::string &Name);
+
 /// Optimization and execution configuration for one kernel run.
 struct KernelConfig {
   /// Task system that executes SPMD tasks (non-owning). Required.
@@ -107,6 +126,17 @@ struct KernelConfig {
   int NpBufferCapacity = 4096;
   /// bfs-hb goes dense when |frontier| > numNodes / HybridDenominator.
   int HybridDenominator = 20;
+  /// Traversal direction for the frontier kernels. Push keeps the exact
+  /// legacy code paths (and their Fig-7 operation counts); Pull forces
+  /// transposed-graph rounds; Hybrid switches per round on the Beamer
+  /// alpha/beta heuristic below, generalizing HybridDenominator.
+  Direction Dir = Direction::Push;
+  /// Hybrid goes pull when frontier out-edges > unexplored edges / AlphaNum
+  /// (Beamer's alpha; GAPBS default 15).
+  int AlphaNum = 15;
+  /// Hybrid returns to push when |frontier| < numNodes / BetaDenom
+  /// (Beamer's beta; GAPBS default 18).
+  int BetaDenom = 18;
 
   /// Named optimization bundles matching the paper's Fig 5 series.
   static KernelConfig unoptimized(TaskSystem &TS, int NumTasks) {

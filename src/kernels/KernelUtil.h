@@ -32,6 +32,7 @@
 #include "runtime/Fibers.h"
 #include "sched/NestedParallelism.h"
 #include "sched/VertexLoop.h"
+#include "worklist/BitmapFrontier.h"
 #include "worklist/Worklist.h"
 
 #include <memory>
@@ -133,6 +134,44 @@ makeLoopScheduler(const KernelConfig &Cfg, std::int64_t MaxItems) {
   return std::make_unique<LoopScheduler>(Cfg.Sched, Cfg.NumTasks,
                                          Cfg.ChunkSize, Cfg.GuidedChunks,
                                          MaxItems, Cfg.SchedInstrument);
+}
+
+// --- Direction-optimizing traversal engine -----------------------------------
+
+/// The per-round mode of a direction-optimizing kernel. runPipe's phase
+/// list is fixed across iterations, so the drivers run three fixed phases
+/// (prepare / convert / main) whose bodies branch on the mode the previous
+/// advance chose:
+///   Push      - prepare/convert idle; main = sparse worklist round.
+///   PullEnter - prepare clears both bitmaps; convert scatters the sparse
+///               frontier into the current bitmap; main = pull scan.
+///   Pull      - prepare clears the (just-swapped, still dirty) next
+///               bitmap; main = pull scan.
+///   PushEnter - prepare popcounts the current bitmap's word slices;
+///               convert expands them into the input worklist (sorted,
+///               duplicate-free); main = sparse round.
+/// Every phase uses either the one scheduled loop of the round (the main
+/// scan) or BitmapFrontier's static word shares, honouring the
+/// LoopScheduler's one-scheduled-loop-per-barrier-episode contract.
+enum class DirRoundMode { Push, PullEnter, Pull, PushEnter };
+
+/// True for the modes whose main phase consumes the bitmap frontier.
+inline bool dirModeIsPull(DirRoundMode M) {
+  return M == DirRoundMode::PullEnter || M == DirRoundMode::Pull;
+}
+
+/// Out-degree sum of the worklist \p WL under \p G — Beamer's scout count,
+/// the numerator of the alpha test. Serial; runs in the advance step where
+/// the frontier is at most a few percent of the nodes.
+template <typename VT>
+std::int64_t frontierEdges(const VT &G, const Worklist &WL) {
+  const EdgeId *Rows = G.rowStart();
+  std::int64_t Sum = 0;
+  for (std::int32_t I = 0, E = WL.size(); I < E; ++I) {
+    NodeId N = WL[I];
+    Sum += Rows[N + 1] - Rows[N];
+  }
+  return Sum;
 }
 
 /// Iterates Items[Begin, End) one vector at a time: Body(VInt Values,

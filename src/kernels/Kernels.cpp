@@ -12,9 +12,36 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace egacs;
 using namespace egacs::simd;
+
+const char *egacs::directionName(Direction D) {
+  switch (D) {
+  case Direction::Push:
+    return "push";
+  case Direction::Pull:
+    return "pull";
+  case Direction::Hybrid:
+    return "hybrid";
+  }
+  return "<invalid>";
+}
+
+Direction egacs::parseDirection(const std::string &Name) {
+  if (Name == "push")
+    return Direction::Push;
+  if (Name == "pull")
+    return Direction::Pull;
+  if (Name == "hybrid")
+    return Direction::Hybrid;
+  std::fprintf(stderr,
+               "error: unknown direction '%s' (expected push|pull|hybrid)\n",
+               Name.c_str());
+  std::exit(2);
+}
 
 const char *egacs::kernelName(KernelKind Kind) {
   switch (Kind) {
@@ -59,17 +86,24 @@ bool egacs::kernelNeedsSortedAdjacency(KernelKind Kind) {
   return Kind == KernelKind::Tri;
 }
 
+bool egacs::kernelUsesDirection(KernelKind Kind) {
+  return Kind == KernelKind::BfsWl || Kind == KernelKind::BfsHb ||
+         Kind == KernelKind::Cc || Kind == KernelKind::Pr;
+}
+
 // The CsrView (default-layout) instantiation lives here; HubCsrView and
 // SellView are instantiated in KernelsLayout.cpp to split compile time.
 template KernelOutput egacs::runKernelView<CsrView>(KernelKind,
                                                     simd::TargetKind,
                                                     const CsrView &,
                                                     const KernelConfig &,
-                                                    NodeId);
+                                                    NodeId, const CsrView *);
 
 KernelOutput egacs::runKernel(KernelKind Kind, TargetKind Target,
                               const Csr &G, const KernelConfig &Cfg,
                               NodeId Source) {
+  bool WantsTranspose =
+      Cfg.Dir != Direction::Push && kernelUsesDirection(Kind);
   if (Cfg.Layout != LayoutKind::Csr) {
     // Honour the runtime layout knob: build the requested view over the
     // bare CSR (the SELL chunk height follows the execution width) and
@@ -79,8 +113,15 @@ KernelOutput egacs::runKernel(KernelKind Kind, TargetKind Target,
     LayoutOptions Opts;
     Opts.SellChunk = simd::targetWidth(Target);
     Opts.SellSigma = Cfg.SellSigma;
-    return runKernel(Kind, Target, AnyLayout::build(Cfg.Layout, G, Opts),
-                     Cfg, Source);
+    AnyLayout L = AnyLayout::build(Cfg.Layout, G, Opts);
+    if (WantsTranspose)
+      L.buildTranspose(Opts);
+    return runKernel(Kind, Target, L, Cfg, Source);
+  }
+  if (WantsTranspose) {
+    Csr T = G.transpose();
+    CsrView TV(T);
+    return runKernelView<CsrView>(Kind, Target, CsrView(G), Cfg, Source, &TV);
   }
   return runKernelView<CsrView>(Kind, Target, CsrView(G), Cfg, Source);
 }

@@ -74,6 +74,11 @@ bool kernelNeedsWeights(KernelKind Kind);
 /// True for kernels that require destination-sorted adjacency (tri).
 bool kernelNeedsSortedAdjacency(KernelKind Kind);
 
+/// True for kernels with a pull-direction implementation (bfs-wl, bfs-hb,
+/// cc, pr): Cfg.Dir != Push changes their execution; other kernels always
+/// run push and need no transposed graph.
+bool kernelUsesDirection(KernelKind Kind);
+
 /// Uniform result container across kernels.
 struct KernelOutput {
   /// Distances (bfs/sssp), component labels (cc), or MIS states (mis).
@@ -89,10 +94,13 @@ struct KernelOutput {
 /// Runs \p Kind on \p Target through the statically typed GraphView \p G.
 /// Instantiated for CsrView (Kernels.cpp) and HubCsrView/SellView
 /// (KernelsLayout.cpp); the definition lives in kernels/RunKernelImpl.h.
+/// \p GT is the same-typed view over the transposed graph; the
+/// direction-capable kernels (kernelUsesDirection) need it non-null for
+/// Cfg.Dir != Push and fall back to push when it is absent.
 template <typename VT>
 KernelOutput runKernelView(KernelKind Kind, simd::TargetKind Target,
                            const VT &G, const KernelConfig &Cfg,
-                           NodeId Source = 0);
+                           NodeId Source = 0, const VT *GT = nullptr);
 
 /// Runs \p Kind on \p Target. \p Source seeds bfs/sssp and is ignored
 /// elsewhere. For tri, \p G must have destination-sorted adjacency.

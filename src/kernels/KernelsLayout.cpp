@@ -22,18 +22,36 @@ template KernelOutput egacs::runKernelView<HubCsrView>(KernelKind,
                                                        simd::TargetKind,
                                                        const HubCsrView &,
                                                        const KernelConfig &,
-                                                       NodeId);
+                                                       NodeId,
+                                                       const HubCsrView *);
 
 template KernelOutput egacs::runKernelView<SellView>(KernelKind,
                                                      simd::TargetKind,
                                                      const SellView &,
                                                      const KernelConfig &,
-                                                     NodeId);
+                                                     NodeId, const SellView *);
 
 KernelOutput egacs::runKernel(KernelKind Kind, simd::TargetKind Target,
                               const AnyLayout &L, const KernelConfig &Cfg,
                               NodeId Source) {
-  return L.visit([&](const auto &View) {
-    return runKernelView(Kind, Target, View, Cfg, Source);
+  if (Cfg.Dir != Direction::Push && kernelUsesDirection(Kind) &&
+      !L.hasTranspose()) {
+    // The caller asked for a pull-capable direction but prebuilt the layout
+    // without a transpose: rebuild one here with the options recovered from
+    // the forward views so the shapes match. Callers that care about the
+    // build cost call buildTranspose (or the loader cache) up front.
+    LayoutOptions Opts;
+    if (const SellView *S = L.sell()) {
+      Opts.SellChunk = S->chunkWidth();
+      Opts.SellSigma = S->sigma();
+    } else if (const HubCsrView *H = L.hub()) {
+      Opts.HubThreshold = H->hubThreshold();
+    }
+    AnyLayout WithT = AnyLayout::build(L.kind(), L.csr(), Opts);
+    WithT.buildTranspose(Opts);
+    return runKernel(Kind, Target, WithT, Cfg, Source);
+  }
+  return L.visitWithTranspose([&](const auto &View, const auto *TV) {
+    return runKernelView(Kind, Target, View, Cfg, Source, TV);
   });
 }

@@ -32,9 +32,19 @@
 namespace egacs {
 
 /// pr: returns the converged PageRank vector (sums to ~1).
+///
+/// With Cfg.Dir != Push and a transposed view \p GT, the push phase is
+/// replaced by a pull accumulation round: each destination gathers the
+/// contributions of its in-neighbors over \p GT and register-accumulates
+/// them into one plain store — atomic-free *by construction* (every
+/// destination is owned by exactly one lane of one task), so the CAS storm
+/// the paper names as PR's bottleneck disappears entirely rather than being
+/// combined or privatized away. PR is dense every round (no frontier), so
+/// Pull and Hybrid behave identically and the update-engine policy knob is
+/// ignored in pull mode.
 template <typename BK, typename VT>
 std::vector<float> pageRank(const VT &G, const KernelConfig &Cfg,
-                            int MaxRounds = 50) {
+                            int MaxRounds = 50, const VT *GT = nullptr) {
   using namespace simd;
   NodeId N = G.numNodes();
   std::vector<float> Rank(static_cast<std::size_t>(N),
@@ -56,8 +66,13 @@ std::vector<float> pageRank(const VT &G, const KernelConfig &Cfg,
   PF.addProp(Accum.data(), static_cast<int>(sizeof(float)),
              PrefetchIndexKind::Dst);
   // Max residual of the current round, stored as float bits (non-negative
-  // floats compare correctly as int32).
-  std::int32_t MaxDiffBits = 0;
+  // floats compare correctly as int32). One cache-line-padded slot per
+  // task, plain-stored behind the phase barrier and max-reduced serially
+  // in the advance, so the reduction issues no CAS chains and a pull-mode
+  // round is atomic-free end to end.
+  constexpr std::size_t ResidualStride = 64 / sizeof(std::int32_t);
+  std::vector<std::int32_t> ResidualBits(
+      static_cast<std::size_t>(Cfg.NumTasks) * ResidualStride, 0);
   int Round = 0;
   const float Base = (1.0f - Cfg.PrDamping) / static_cast<float>(N);
 
@@ -116,6 +131,33 @@ std::vector<float> pageRank(const VT &G, const KernelConfig &Cfg,
     Eng.merge(Accum.data(), *Sched, TaskIdx, TaskCount);
   };
 
+  // Pull-direction phase 2: in-neighbor gather + register accumulate, one
+  // plain store per destination, zero CAS attempts. Contrib is read-only
+  // here (written in phase 1 behind a barrier) and each Accum slot has a
+  // single writer, so the round is race-free without any atomics.
+  const bool UsePull = Cfg.Dir != Direction::Push && GT != nullptr;
+  TaskFn PullContrib = [&](int TaskIdx, int TaskCount) {
+    std::uint64_t T0 = Eng.scatterStart();
+    std::int64_t Scanned = 0;
+    forEachNodeSlice<BK>(
+        *GT, *Sched, TaskIdx, TaskCount,
+        [&](VInt<BK> Node, VMask<BK> Act, std::int64_t Slot) {
+          VFloat<BK> Sum = splatF<BK>(0.0f);
+          pullForEachEdge<BK>(
+              *GT, Node, Act,
+              [&](VInt<BK>, VInt<BK> Src, VInt<BK>, VMask<BK> Live) {
+                Scanned += popcount(Live);
+                VFloat<BK> C = gatherF<BK>(Contrib.data(), Src, Live);
+                Sum = Sum + selectF<BK>(Live, C, splatF<BK>(0.0f));
+                return Live;
+              },
+              Slot);
+          scatterF<BK>(Accum.data(), Node, Sum, Act);
+        });
+    Eng.scatterFinish(T0);
+    EGACS_STAT_ADD(PullEdgesScanned, static_cast<std::uint64_t>(Scanned));
+  };
+
   // Phase 3: apply damping, measure residual, reset accumulators.
   TaskFn ApplyAndResidual = [&](int TaskIdx, int TaskCount) {
     float LocalMax = 0.0f;
@@ -130,7 +172,8 @@ std::vector<float> pageRank(const VT &G, const KernelConfig &Cfg,
           VFloat<BK> Diff = New - Old;
           VFloat<BK> Neg = splatF<BK>(0.0f) - Diff;
           VFloat<BK> Abs = selectF<BK>(Diff > splatF<BK>(0.0f), Diff, Neg);
-          // Residual reduction: in-register max, one atomic per task below.
+          // Residual reduction: in-register max, one plain slot store per
+          // task below (reduced serially in the advance).
           for (int L = 0; L < BK::Width; ++L) {
             float V = extractF<BK>(Abs, L);
             if (V > LocalMax)
@@ -139,18 +182,25 @@ std::vector<float> pageRank(const VT &G, const KernelConfig &Cfg,
         });
     std::int32_t Bits;
     std::memcpy(&Bits, &LocalMax, sizeof(Bits));
-    atomicMaxGlobal(&MaxDiffBits, Bits);
+    ResidualBits[static_cast<std::size_t>(TaskIdx) * ResidualStride] = Bits;
   };
 
-  std::vector<TaskFn> Phases{ComputeContrib, PushContrib};
-  if (Eng.needsMerge())
+  std::vector<TaskFn> Phases{ComputeContrib,
+                             UsePull ? PullContrib : PushContrib};
+  if (!UsePull && Eng.needsMerge())
     Phases.push_back(MergeStaged);
   Phases.push_back(ApplyAndResidual);
   runPipe(Cfg, Phases,
           [&] {
+            std::int32_t MaxBits = 0;
+            for (int T = 0; T < Cfg.NumTasks; ++T) {
+              std::size_t Slot = static_cast<std::size_t>(T) * ResidualStride;
+              if (ResidualBits[Slot] > MaxBits)
+                MaxBits = ResidualBits[Slot];
+              ResidualBits[Slot] = 0;
+            }
             float MaxDiff;
-            std::memcpy(&MaxDiff, &MaxDiffBits, sizeof(MaxDiff));
-            MaxDiffBits = 0;
+            std::memcpy(&MaxDiff, &MaxBits, sizeof(MaxDiff));
             ++Round;
             return MaxDiff > Cfg.PrTolerance && Round < MaxRounds;
           });

@@ -32,12 +32,12 @@ namespace egacs {
 template <typename VT>
 KernelOutput runKernelView(KernelKind Kind, simd::TargetKind Target,
                            const VT &G, const KernelConfig &Cfg,
-                           NodeId Source) {
+                           NodeId Source, const VT *GT) {
   return simd::dispatchTarget(Target, [&]<typename BK>() {
     KernelOutput Out;
     switch (Kind) {
     case KernelKind::BfsWl:
-      Out.IntData = bfsWl<BK>(G, Cfg, Source);
+      Out.IntData = bfsWl<BK>(G, Cfg, Source, GT);
       break;
     case KernelKind::BfsCx:
       Out.IntData = bfsCx<BK>(G, Cfg, Source);
@@ -46,10 +46,10 @@ KernelOutput runKernelView(KernelKind Kind, simd::TargetKind Target,
       Out.IntData = bfsTp<BK>(G, Cfg, Source);
       break;
     case KernelKind::BfsHb:
-      Out.IntData = bfsHb<BK>(G, Cfg, Source);
+      Out.IntData = bfsHb<BK>(G, Cfg, Source, GT);
       break;
     case KernelKind::Cc:
-      Out.IntData = connectedComponents<BK>(G, Cfg);
+      Out.IntData = connectedComponents<BK>(G, Cfg, GT);
       break;
     case KernelKind::Tri:
       Out.Scalar0 = triangleCount<BK>(G, Cfg);
@@ -61,7 +61,7 @@ KernelOutput runKernelView(KernelKind Kind, simd::TargetKind Target,
       Out.IntData = maximalIndependentSet<BK>(G, Cfg);
       break;
     case KernelKind::Pr:
-      Out.FloatData = pageRank<BK>(G, Cfg);
+      Out.FloatData = pageRank<BK>(G, Cfg, /*MaxRounds=*/50, GT);
       break;
     case KernelKind::Mst: {
       MstResult R = boruvkaMst<BK>(G, Cfg);

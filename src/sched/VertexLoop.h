@@ -226,6 +226,65 @@ void plainForEachEdge(const VT &G, simd::VInt<BK> Node, simd::VMask<BK> Act,
   }
 }
 
+/// Pull-direction inner loop: \p GT is the view over the *transposed*
+/// graph, so each lane owns one destination node and walks its in-neighbor
+/// list. Unlike plainForEachEdge, \p Fn returns the mask of lanes that must
+/// keep scanning — a lane that found what it wanted (e.g. an in-frontier
+/// parent in pull-BFS) retires immediately and the rest of its row is never
+/// touched, which is the entire point of the pull direction on dense
+/// frontiers. Calls Fn(Dst, Src, EdgeIdx, Active); EdgeIdx indexes the
+/// transposed graph's arrays. A SELL transposed view with a Width-aligned
+/// \p Slot gets the unit-stride chunk-sweep shape (with the same early
+/// exit); worklist-order callers pass NoSlot. When \p EarlyExits is
+/// non-null it accumulates the lanes Fn retired that still had in-edges
+/// left — the work the pull direction actually skipped (Stat counter
+/// PullEarlyExits).
+template <typename BK, typename VT, typename EdgeFnT>
+void pullForEachEdge(const VT &GT, simd::VInt<BK> Node, simd::VMask<BK> Act,
+                     EdgeFnT &&Fn, std::int64_t Slot = NoSlot,
+                     std::int64_t *EarlyExits = nullptr) {
+  using namespace simd;
+  if constexpr (ViewSellTraits<VT>::SellSlices) {
+    if (Slot >= 0 && Slot % BK::Width == 0 &&
+        GT.chunkWidth() == static_cast<std::int32_t>(BK::Width)) {
+      VInt<BK> Deg = maskedLoad<BK>(GT.slotDegrees() + Slot, Act);
+      std::int64_t Chunk = Slot / BK::Width;
+      const std::int64_t Base = GT.sliceOffsets()[Chunk];
+      const NodeId *SrcBase = GT.sellDst() + Base;
+      const EdgeId *EdgeBase = GT.sellEdge() + Base;
+      VInt<BK> J = splat<BK>(0);
+      VMask<BK> Live = Act & (J < Deg);
+      std::int64_t Off = 0;
+      while (any(Live)) {
+        recordLaneUtilization<BK>(Live);
+        recordNeighborContig<BK>(Live);
+        VInt<BK> Src = maskedLoad<BK>(SrcBase + Off, Live);
+        VInt<BK> EIdx = maskedLoad<BK>(EdgeBase + Off, Live);
+        VMask<BK> Keep = Fn(Node, Src, EIdx, Live);
+        J = J + splat<BK>(1);
+        Off += BK::Width;
+        if (EarlyExits)
+          *EarlyExits += popcount((Live & ~Keep) & (J < Deg));
+        Live = Keep & (J < Deg);
+      }
+      return;
+    }
+  }
+  VInt<BK> Row = gather<BK>(GT.rowStart(), Node, Act);
+  VInt<BK> End = gather<BK>(GT.rowStart() + 1, Node, Act);
+  VMask<BK> Live = Act & (Row < End);
+  while (any(Live)) {
+    recordLaneUtilization<BK>(Live);
+    recordNeighborGather<BK>(Live);
+    VInt<BK> Src = gatherNeighbors<BK>(GT, Row, Live);
+    VMask<BK> Keep = Fn(Node, Src, Row, Live);
+    Row = Row + splat<BK>(1);
+    if (EarlyExits)
+      *EarlyExits += popcount((Live & ~Keep) & (Row < End));
+    Live = Keep & (Row < End);
+  }
+}
+
 } // namespace egacs
 
 #endif // EGACS_SCHED_VERTEXLOOP_H

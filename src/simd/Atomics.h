@@ -218,6 +218,24 @@ VInt<B> atomicAddVector(std::int32_t *Base, VInt<B> Idx, VInt<B> Val,
   return Old;
 }
 
+/// Per-active-lane relaxed-atomic gather of Base[Idx[l]]. Pairs racy-by-
+/// design reads (label hooking, dense level scans) with the CAS writers
+/// above: per lane this is the same x86 mov a hardware gather decomposes
+/// into, but with race-free semantics under the C++ memory model (and
+/// TSan). Counted as a gather so the Fig-7 op counts match the plain path.
+template <typename B>
+VInt<B> gatherRelaxed(const std::int32_t *Base, VInt<B> Idx, VMask<B> M) {
+  detail::countGather();
+  VInt<B> Out = splat<B>(0);
+  std::uint64_t Bits = maskBits(M);
+  while (Bits) {
+    int L = __builtin_ctzll(Bits);
+    Bits &= Bits - 1;
+    Out = insert(Out, L, atomicLoadGlobal(Base + extract(Idx, L)));
+  }
+  return Out;
+}
+
 /// Per-active-lane atomic min Base[Idx[l]] = min(., Val[l]); returns the mask
 /// of lanes whose value strictly decreased (i.e. the relaxation succeeded).
 template <typename B>

@@ -165,6 +165,7 @@ struct Avx2Backend {
   static VInt shr(VInt A, int Sh) {
     return _mm256_srl_epi32(A, _mm_cvtsi32_si128(Sh));
   }
+  static VInt shlv(VInt A, VInt Sh) { return _mm256_sllv_epi32(A, Sh); }
 
   // --- Float arithmetic --------------------------------------------------------
 
@@ -379,6 +380,7 @@ struct Avx2HalfBackend {
   static VInt shr(VInt A, int Sh) {
     return _mm_srl_epi32(A, _mm_cvtsi32_si128(Sh));
   }
+  static VInt shlv(VInt A, VInt Sh) { return _mm_sllv_epi32(A, Sh); }
 
   static VFloat addF(VFloat A, VFloat B) { return _mm_add_ps(A, B); }
   static VFloat subF(VFloat A, VFloat B) { return _mm_sub_ps(A, B); }

@@ -116,6 +116,7 @@ struct Avx512Backend {
   static VInt shr(VInt A, int Sh) {
     return _mm512_srl_epi32(A, _mm_cvtsi32_si128(Sh));
   }
+  static VInt shlv(VInt A, VInt Sh) { return _mm512_sllv_epi32(A, Sh); }
 
   static VFloat addF(VFloat A, VFloat B) { return _mm512_add_ps(A, B); }
   static VFloat subF(VFloat A, VFloat B) { return _mm512_sub_ps(A, B); }
@@ -292,6 +293,7 @@ struct Avx512HalfBackend {
   static VInt shr(VInt A, int Sh) {
     return _mm256_srl_epi32(A, _mm_cvtsi32_si128(Sh));
   }
+  static VInt shlv(VInt A, VInt Sh) { return _mm256_sllv_epi32(A, Sh); }
 
   static VFloat addF(VFloat A, VFloat B) { return _mm256_add_ps(A, B); }
   static VFloat subF(VFloat A, VFloat B) { return _mm256_sub_ps(A, B); }

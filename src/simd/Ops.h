@@ -273,6 +273,13 @@ template <typename B> VInt<B> vmax(VInt<B> A, VInt<B> C) {
   detail::countOps(1);
   return {B::max(A.V, C.V)};
 }
+/// Per-lane variable left shift (x86 `vpsllvd` semantics: counts are
+/// unsigned, counts >= 32 produce zero). The bitmap-frontier test/set
+/// sequences build per-lane bit masks with this.
+template <typename B> VInt<B> shlv(VInt<B> A, VInt<B> Sh) {
+  detail::countOps(1);
+  return {B::shlv(A.V, Sh.V)};
+}
 template <typename B> VFloat<B> toFloat(VInt<B> A) {
   detail::countOps(1);
   return {B::toFloat(A.V)};

@@ -104,6 +104,9 @@ template <typename B, const char *BackendName> struct PumpedBackend {
 
   static VInt shl(VInt A, int Sh) { return {B::shl(A.Lo, Sh), B::shl(A.Hi, Sh)}; }
   static VInt shr(VInt A, int Sh) { return {B::shr(A.Lo, Sh), B::shr(A.Hi, Sh)}; }
+  static VInt shlv(VInt A, VInt Sh) {
+    return {B::shlv(A.Lo, Sh.Lo), B::shlv(A.Hi, Sh.Hi)};
+  }
 
 #define EGACS_PUMP_BINOPF(NAME)                                                \
   static VFloat NAME(VFloat A, VFloat C) {                                     \

@@ -204,6 +204,18 @@ template <int W> struct ScalarBackend {
           static_cast<std::uint32_t>(A.Lane[I]) >> Sh);
     return R;
   }
+  /// Per-lane variable shift with x86 `vpsllvd` semantics: counts are
+  /// treated as unsigned and any count >= 32 yields zero.
+  static VInt shlv(VInt A, VInt Sh) {
+    VInt R;
+    for (int I = 0; I < W; ++I) {
+      std::uint32_t C = static_cast<std::uint32_t>(Sh.Lane[I]);
+      R.Lane[I] = C >= 32 ? 0
+                          : static_cast<std::int32_t>(
+                                static_cast<std::uint32_t>(A.Lane[I]) << C);
+    }
+    return R;
+  }
 
   // --- Float arithmetic ----------------------------------------------------
 

@@ -71,6 +71,14 @@ const char *egacs::statName(Stat S) {
     return "prefetches-issued";
   case Stat::PrefetchLinesTouched:
     return "prefetch-lines-touched";
+  case Stat::DirectionSwitches:
+    return "direction-switches";
+  case Stat::PullEdgesScanned:
+    return "pull-edges-scanned";
+  case Stat::PullEarlyExits:
+    return "pull-early-exits";
+  case Stat::FrontierConversions:
+    return "frontier-conversions";
   case Stat::NumStats:
     break;
   }

@@ -94,6 +94,17 @@ TEST(OpsWrappers, SelectAndMinMax) {
             std::vector<std::int32_t>(ExpSel, ExpSel + 8));
 }
 
+TEST(OpsWrappers, VariableShift) {
+  // 1 << lane-index builds the per-lane bit masks the bitmap frontier
+  // uses; a count of 32+ saturates to zero (vpsllvd semantics).
+  volatile std::int32_t OneV = 1, BigV = 33;
+  VInt<BK> Bits = shlv<BK>(splat<BK>(OneV), programIndex<BK>());
+  static const std::int32_t ExpBits[8] = {1, 2, 4, 8, 16, 32, 64, 128};
+  EXPECT_EQ(lanes(Bits), std::vector<std::int32_t>(ExpBits, ExpBits + 8));
+  EXPECT_EQ(lanes(shlv<BK>(programIndex<BK>(), splat<BK>(BigV))),
+            std::vector<std::int32_t>(8, 0));
+}
+
 TEST(OpsWrappers, FloatOperators) {
   VFloat<BK> A = splatF<BK>(2.0f);
   VFloat<BK> B = toFloat<BK>(programIndex<BK>());

@@ -137,6 +137,27 @@ TYPED_TEST(SimdBackendTest, Logic) {
   }
 }
 
+// Per-lane variable shift: vpsllvd semantics (counts unsigned, >= 32 gives
+// zero). Counts are drawn past 32 on purpose to pin the saturation case.
+TYPED_TEST(SimdBackendTest, VariableShift) {
+  using BK = TypeParam;
+  Xoshiro256 Rng(21);
+  LaneData<BK> D, S;
+  for (int Round = 0; Round < 50; ++Round) {
+    D.randomize(Rng, 0, 1 << 20);
+    S.randomize(Rng, 0, 40);
+    auto Shl = toLanes<BK>(BK::shlv(D.vecA(), S.vecA()));
+    for (int I = 0; I < BK::Width; ++I) {
+      std::uint32_t C = static_cast<std::uint32_t>(S.A[I]);
+      std::int32_t Want =
+          C >= 32 ? 0
+                  : static_cast<std::int32_t>(
+                        static_cast<std::uint32_t>(D.A[I]) << C);
+      EXPECT_EQ(Shl[I], Want);
+    }
+  }
+}
+
 TYPED_TEST(SimdBackendTest, Comparisons) {
   using BK = TypeParam;
   Xoshiro256 Rng(13);
