@@ -223,3 +223,91 @@ Csr egacs::namedGraph(const std::string &Name, int Scale,
   assert(false && "unknown graph name (use road/rmat/random)");
   return pathGraph(2);
 }
+
+namespace {
+
+/// Extracts all arcs of \p G as a rebuildable edge list.
+std::vector<RawEdge> extractArcs(const Csr &G) {
+  std::vector<RawEdge> Edges;
+  Edges.reserve(static_cast<std::size_t>(G.numEdges()));
+  for (NodeId U = 0; U < G.numNodes(); ++U) {
+    auto Neighbors = G.neighbors(U);
+    for (std::size_t I = 0; I < Neighbors.size(); ++I)
+      Edges.push_back({U, Neighbors[I],
+                       G.hasWeights() ? G.weights(U)[I] : 0});
+  }
+  return Edges;
+}
+
+} // namespace
+
+Csr egacs::withSelfLoops(const Csr &G, NodeId Count, std::uint64_t Seed) {
+  std::vector<RawEdge> Edges = extractArcs(G);
+  if (G.numNodes() > 0) {
+    Xoshiro256 Rng(Seed);
+    Weight W = G.hasWeights() ? 1 : 0;
+    for (NodeId I = 0; I < Count; ++I) {
+      NodeId N = static_cast<NodeId>(
+          Rng.nextBounded(static_cast<std::uint64_t>(G.numNodes())));
+      Edges.push_back({N, N, W});
+    }
+  }
+  return buildCsr(G.numNodes(), std::move(Edges));
+}
+
+Csr egacs::withDuplicateEdges(const Csr &G, NodeId Count,
+                              std::uint64_t Seed) {
+  std::vector<RawEdge> Edges = extractArcs(G);
+  std::size_t Original = Edges.size();
+  if (Original > 0) {
+    Xoshiro256 Rng(Seed);
+    for (NodeId I = 0; I < Count; ++I) {
+      RawEdge E = Edges[Rng.nextBounded(Original)];
+      Edges.push_back(E);
+      // Duplicate the reverse arc too so symmetric graphs stay symmetric;
+      // a self-loop is its own reverse and is added once.
+      if (E.Src != E.Dst)
+        Edges.push_back({E.Dst, E.Src, E.W});
+    }
+  }
+  return buildCsr(G.numNodes(), std::move(Edges));
+}
+
+Csr egacs::withRandomWeights(const Csr &G, Weight MaxWeight,
+                             std::uint64_t Seed) {
+  assert(MaxWeight >= 1 && "weights must be positive");
+  std::vector<RawEdge> Edges = extractArcs(G);
+  for (RawEdge &E : Edges) {
+    // Unordered-pair hash: both arcs of an undirected edge (and every
+    // parallel copy) draw the same weight, keeping the graph symmetric.
+    NodeId Lo = std::min(E.Src, E.Dst), Hi = std::max(E.Src, E.Dst);
+    std::uint64_t Key = (static_cast<std::uint64_t>(
+                             static_cast<std::uint32_t>(Lo))
+                         << 32) |
+                        static_cast<std::uint32_t>(Hi);
+    E.W = static_cast<Weight>(
+        1 + hashMix64(Seed ^ hashMix64(Key)) %
+                static_cast<std::uint64_t>(MaxWeight));
+  }
+  return buildCsr(G.numNodes(), std::move(Edges));
+}
+
+Csr egacs::disconnectedUnion(const Csr &A, const Csr &B) {
+  checkGeneratorSize("disconnectedUnion",
+                     static_cast<std::int64_t>(A.numNodes()) + B.numNodes(),
+                     static_cast<std::int64_t>(A.numEdges()) + B.numEdges());
+  bool Weighted = A.hasWeights() || B.hasWeights();
+  std::vector<RawEdge> Edges = extractArcs(A);
+  NodeId Shift = A.numNodes();
+  for (NodeId U = 0; U < B.numNodes(); ++U) {
+    auto Neighbors = B.neighbors(U);
+    for (std::size_t I = 0; I < Neighbors.size(); ++I)
+      Edges.push_back({U + Shift, Neighbors[I] + Shift,
+                       B.hasWeights() ? B.weights(U)[I] : 0});
+  }
+  if (Weighted)
+    for (RawEdge &E : Edges)
+      if (E.W == 0)
+        E.W = 1;
+  return buildCsr(A.numNodes() + B.numNodes(), std::move(Edges));
+}

@@ -67,6 +67,31 @@ Csr namedGraph(const std::string &Name, int Scale, std::uint64_t Seed = 7);
 /// virtual-memory experiments shuffle ids first.
 Csr shuffleNodeIds(const Csr &G, std::uint64_t Seed);
 
+// --- Adversarial-shape transforms (verify/FuzzCampaign) --------------------
+// Real inputs are clean; fuzzing deliberately is not. These transforms graft
+// the edge cases the kernels must survive — self-loops, parallel edges,
+// disconnected unions — onto any base graph while preserving symmetry (a
+// self-loop is its own reverse; duplicates are added in both directions).
+
+/// Returns \p G with \p Count self-loop arcs added on random nodes
+/// (weight 1 when the graph is weighted). Deterministic in \p Seed.
+Csr withSelfLoops(const Csr &G, NodeId Count, std::uint64_t Seed);
+
+/// Returns \p G with \p Count randomly chosen arcs duplicated; a non-loop
+/// arc is duplicated together with its reverse so symmetric graphs stay
+/// symmetric. Deterministic in \p Seed.
+Csr withDuplicateEdges(const Csr &G, NodeId Count, std::uint64_t Seed);
+
+/// Returns \p G reweighted with fresh random weights in [1, MaxWeight],
+/// derived from an unordered-pair hash so the two arcs of an undirected
+/// edge (and all parallel copies) agree. Deterministic in \p Seed.
+Csr withRandomWeights(const Csr &G, Weight MaxWeight, std::uint64_t Seed);
+
+/// The disjoint union of \p A and \p B; B's node ids are shifted up by
+/// A.numNodes(). If either side is weighted, the other side's arcs get
+/// weight 1 so the result is uniformly weighted.
+Csr disconnectedUnion(const Csr &A, const Csr &B);
+
 } // namespace egacs
 
 #endif // EGACS_GRAPH_GENERATORS_H

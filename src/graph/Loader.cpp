@@ -229,10 +229,49 @@ bool readSellImage(std::FILE *File, const BinaryHeader &H,
   return true;
 }
 
+/// Validates loaded CSR arrays before any kernel can index through them:
+/// row pointers must start at 0, grow monotonically to exactly \p NumEdges,
+/// and every destination must be a valid node id. A cache that fails any of
+/// these would be undefined behaviour downstream, not just wrong results.
+bool validCsrArrays(const AlignedBuffer<EdgeId> &Rows,
+                    const AlignedBuffer<NodeId> &Dsts, std::int32_t NumNodes,
+                    std::int32_t NumEdges, const std::string &Path,
+                    const char *What) {
+  if (Rows[0] != 0) {
+    parseError(Path, 0, "corrupt binary cache: row pointers must start at 0");
+    return false;
+  }
+  for (std::size_t I = 0; I < static_cast<std::size_t>(NumNodes); ++I)
+    if (Rows[I + 1] < Rows[I]) {
+      std::fprintf(stderr,
+                   "error: %s: corrupt binary cache: %s row pointers "
+                   "decrease at node %zu\n",
+                   Path.c_str(), What, I);
+      return false;
+    }
+  if (Rows[static_cast<std::size_t>(NumNodes)] != NumEdges) {
+    std::fprintf(stderr,
+                 "error: %s: corrupt binary cache: %s row sentinel %d "
+                 "disagrees with header edge count %d\n",
+                 Path.c_str(), What,
+                 Rows[static_cast<std::size_t>(NumNodes)], NumEdges);
+    return false;
+  }
+  for (std::size_t E = 0; E < static_cast<std::size_t>(NumEdges); ++E)
+    if (Dsts[E] < 0 || Dsts[E] >= NumNodes) {
+      std::fprintf(stderr,
+                   "error: %s: corrupt binary cache: %s destination %d at "
+                   "edge %zu is outside [0, %d)\n",
+                   Path.c_str(), What, Dsts[E], E, NumNodes);
+      return false;
+    }
+  return true;
+}
+
 /// Reads the v3 transpose trailer. Returns false on I/O error or an
 /// inconsistent payload (corrupt trailer => corrupt file).
 bool readTranspose(std::FILE *File, const BinaryHeader &H,
-                   std::optional<Csr> &Out) {
+                   const std::string &Path, std::optional<Csr> &Out) {
   std::uint32_t HasT = 0;
   if (std::fread(&HasT, sizeof(HasT), 1, File) != 1)
     return false;
@@ -249,27 +288,74 @@ bool readTranspose(std::FILE *File, const BinaryHeader &H,
     if (!readArray(File, Weights.data(), Weights.size()))
       return false;
   }
-  if (Rows[static_cast<std::size_t>(H.NumNodes)] != H.NumEdges)
+  if (!validCsrArrays(Rows, Dsts, H.NumNodes, H.NumEdges, Path, "transpose"))
     return false;
   Out.emplace(H.NumNodes, std::move(Rows), std::move(Dsts),
               std::move(Weights));
   return true;
 }
 
-/// Shared v1/v2/v3 loader.
+/// Shared v1/v2/v3 loader. Every rejection prints a stderr diagnostic
+/// naming the file and the reason; callers can then fall back to the text
+/// source (loadGraphAuto) instead of crashing on garbage arrays.
 std::optional<LoadedGraph> loadBinaryImpl(const std::string &Path,
                                           bool WantSell) {
   std::FILE *File = std::fopen(Path.c_str(), "rb");
-  if (!File)
+  if (!File) {
+    parseError(Path, 0, "cannot open binary cache for reading");
     return std::nullopt;
+  }
   BinaryHeader H;
-  if (std::fread(&H, sizeof(H), 1, File) != 1 ||
-      std::memcmp(H.Magic, BinaryMagic, 4) != 0 ||
-      H.Version < MinBinaryVersion || H.Version > BinaryVersion ||
-      H.NumNodes < 0 || H.NumEdges < 0) {
+  if (std::fread(&H, sizeof(H), 1, File) != 1) {
+    parseError(Path, 0, "binary cache truncated inside the header");
     std::fclose(File);
     return std::nullopt;
   }
+  if (std::memcmp(H.Magic, BinaryMagic, 4) != 0) {
+    parseError(Path, 0, "not an EGCS binary cache (bad magic)");
+    std::fclose(File);
+    return std::nullopt;
+  }
+  if (H.Version < MinBinaryVersion || H.Version > BinaryVersion) {
+    std::fprintf(stderr,
+                 "error: %s: unsupported binary cache version %u (this "
+                 "build reads versions %u..%u)\n",
+                 Path.c_str(), H.Version, MinBinaryVersion, BinaryVersion);
+    std::fclose(File);
+    return std::nullopt;
+  }
+  if (H.NumNodes < 0 || H.NumEdges < 0) {
+    parseError(Path, 0,
+               "corrupt binary cache: negative node or edge count in header");
+    std::fclose(File);
+    return std::nullopt;
+  }
+
+  // Validate the payload length against the real file size BEFORE sizing
+  // any allocation from the header: a corrupted count must not drive a
+  // multi-gigabyte allocation (or a partial read into garbage arrays).
+  long DataStart = std::ftell(File);
+  std::fseek(File, 0, SEEK_END);
+  long FileSize = std::ftell(File);
+  std::fseek(File, DataStart, SEEK_SET);
+  std::uint64_t V1Bytes =
+      (static_cast<std::uint64_t>(H.NumNodes) + 1) * sizeof(EdgeId) +
+      static_cast<std::uint64_t>(H.NumEdges) * sizeof(NodeId) +
+      (H.HasWeights ? static_cast<std::uint64_t>(H.NumEdges) * sizeof(Weight)
+                    : 0);
+  if (DataStart < 0 || FileSize < DataStart ||
+      static_cast<std::uint64_t>(FileSize - DataStart) < V1Bytes) {
+    std::fprintf(stderr,
+                 "error: %s: binary cache truncated: header promises %llu "
+                 "payload bytes but only %lld are present\n",
+                 Path.c_str(), static_cast<unsigned long long>(V1Bytes),
+                 static_cast<long long>(FileSize > DataStart
+                                            ? FileSize - DataStart
+                                            : 0));
+    std::fclose(File);
+    return std::nullopt;
+  }
+
   AlignedBuffer<EdgeId> Rows(static_cast<std::size_t>(H.NumNodes) + 1);
   AlignedBuffer<NodeId> Dsts(static_cast<std::size_t>(H.NumEdges));
   AlignedBuffer<Weight> Weights;
@@ -281,15 +367,29 @@ std::optional<LoadedGraph> loadBinaryImpl(const std::string &Path,
     Ok = Ok && readArray(File, Weights.data(),
                          static_cast<std::size_t>(H.NumEdges));
   }
+  if (!Ok) {
+    parseError(Path, 0, "binary cache truncated inside the CSR arrays");
+    std::fclose(File);
+    return std::nullopt;
+  }
+  if (!validCsrArrays(Rows, Dsts, H.NumNodes, H.NumEdges, Path, "forward")) {
+    std::fclose(File);
+    return std::nullopt;
+  }
   std::optional<SellImage> Sell;
   std::optional<Csr> Transpose;
-  if (Ok && WantSell && H.Version >= 2)
-    Ok = readSellImage(File, H, Sell);
-  if (Ok && WantSell && H.Version >= 3)
-    Ok = readTranspose(File, H, Transpose);
-  std::fclose(File);
-  if (!Ok || Rows[static_cast<std::size_t>(H.NumNodes)] != H.NumEdges)
+  if (WantSell && H.Version >= 2 && !readSellImage(File, H, Sell)) {
+    parseError(Path, 0, "corrupt or truncated SELL trailer in binary cache");
+    std::fclose(File);
     return std::nullopt;
+  }
+  if (WantSell && H.Version >= 3 && !readTranspose(File, H, Path, Transpose)) {
+    parseError(Path, 0,
+               "corrupt or truncated transpose trailer in binary cache");
+    std::fclose(File);
+    return std::nullopt;
+  }
+  std::fclose(File);
   return LoadedGraph{Csr(H.NumNodes, std::move(Rows), std::move(Dsts),
                          std::move(Weights)),
                      std::move(Sell), std::move(Transpose)};
@@ -361,4 +461,33 @@ std::optional<Csr> egacs::loadBinaryCsr(const std::string &Path) {
 
 std::optional<LoadedGraph> egacs::loadBinaryGraph(const std::string &Path) {
   return loadBinaryImpl(Path, true);
+}
+
+std::optional<Csr> egacs::loadGraphAuto(const std::string &Path,
+                                        bool Symmetrize) {
+  // Sniff the magic so only files claiming to be EGCS caches go down the
+  // binary path; a text edge list never pays for a failed binary parse.
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    parseError(Path, 0, "cannot open file for reading");
+    return std::nullopt;
+  }
+  char Magic[4] = {};
+  std::size_t Got = std::fread(Magic, 1, sizeof(Magic), File);
+  std::fclose(File);
+  if (Got == sizeof(Magic) && std::memcmp(Magic, BinaryMagic, 4) == 0) {
+    if (std::optional<Csr> G = loadBinaryCsr(Path)) {
+      if (Symmetrize && G) {
+        // Caches store the final (already symmetric) graph; honour the
+        // flag anyway for callers that pass it unconditionally.
+        return G;
+      }
+      return G;
+    }
+    std::fprintf(stderr,
+                 "note: %s: falling back to text parse after binary-cache "
+                 "rejection\n",
+                 Path.c_str());
+  }
+  return loadEdgeList(Path, Symmetrize);
 }

@@ -69,6 +69,14 @@ std::optional<Csr> loadBinaryCsr(const std::string &Path);
 /// Loads the CSR plus the stored SELL image and transpose, if any.
 std::optional<LoadedGraph> loadBinaryGraph(const std::string &Path);
 
+/// Robust entry point for user-supplied paths: files starting with the
+/// EGCS magic load through the binary-cache reader; anything else — and
+/// any cache the reader rejects as truncated or corrupt (after its stderr
+/// diagnostic) — is parsed as a text edge list instead. A stale or damaged
+/// cache therefore degrades to a re-parse, never to undefined behaviour.
+std::optional<Csr> loadGraphAuto(const std::string &Path,
+                                 bool Symmetrize = false);
+
 } // namespace egacs
 
 #endif // EGACS_GRAPH_LOADER_H

@@ -51,8 +51,21 @@ std::vector<std::int32_t> maximalIndependentSet(const VT &G,
 
   std::size_t Cap = static_cast<std::size_t>(N) + 64;
   WorklistPair WL(Cap);
+  // Self-loop pre-pass: a node adjacent to itself can never join an
+  // independent set, but the demotion phase would demote such a candidate
+  // against itself forever (the (priority, id) order never picks a winner
+  // on a tie with oneself), livelocking the worklist. Decide these nodes
+  // MisOut serially and keep them off the worklist.
+  const Csr &Plain = G.csr();
   for (NodeId I = 0; I < N; ++I)
-    WL.in().pushSerial(I);
+    for (NodeId V : Plain.neighbors(I))
+      if (V == I) {
+        State[static_cast<std::size_t>(I)] = MisOut;
+        break;
+      }
+  for (NodeId I = 0; I < N; ++I)
+    if (State[static_cast<std::size_t>(I)] == MisUndecided)
+      WL.in().pushSerial(I);
   auto Locals = makeTaskLocals(Cfg);
   auto Sched = makeLoopScheduler(Cfg, static_cast<std::int64_t>(Cap));
   // The edge phases gather State and Prio through both endpoints (src via

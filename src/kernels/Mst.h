@@ -36,7 +36,8 @@ struct MstResult {
 template <typename BK, typename VT>
 MstResult boruvkaMst(const VT &G, const KernelConfig &Cfg) {
   using namespace simd;
-  assert(G.hasWeights() && "mst needs edge weights");
+  assert((G.hasWeights() || G.numEdges() == 0) &&
+         "mst needs edge weights");
   NodeId N = G.numNodes();
   MstResult Result;
   if (N == 0)

@@ -33,7 +33,8 @@ template <typename BK, typename VT>
 std::vector<std::int32_t> ssspNf(const VT &G, const KernelConfig &Cfg,
                                  NodeId Source) {
   using namespace simd;
-  assert(G.hasWeights() && "sssp needs edge weights");
+  assert((G.hasWeights() || G.numEdges() == 0) &&
+         "sssp needs edge weights");
   std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
                                  InfDist);
   if (G.numNodes() == 0)

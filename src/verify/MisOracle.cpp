@@ -1,0 +1,61 @@
+//===- verify/MisOracle.cpp - Maximal-independent-set oracle --------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+//
+// Checks the three defining properties directly:
+//   totality     — every node is decided (MisIn or MisOut);
+//   independence — no member has a member neighbour, and no member carries a
+//                  self-loop (a node adjacent to itself can never be in an
+//                  independent set);
+//   maximality   — every excluded node has a member neighbour *or* a
+//                  self-loop (the only legal reasons to stay out).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Oracle.h"
+
+#include <string>
+#include <vector>
+
+using namespace egacs;
+using namespace egacs::verify;
+
+OracleResult verify::checkMis(const Csr &G,
+                              const std::vector<std::int32_t> &State) {
+  const NodeId N = G.numNodes();
+  if (State.size() != static_cast<std::size_t>(N))
+    return OracleResult::fail("mis: output has " +
+                              std::to_string(State.size()) +
+                              " entries for " + std::to_string(N) + " nodes");
+  for (NodeId U = 0; U < N; ++U) {
+    std::int32_t S = State[static_cast<std::size_t>(U)];
+    if (S != MisIn && S != MisOut)
+      return OracleResult::fail("mis: node " + std::to_string(U) +
+                                " has undecided/corrupt state " +
+                                std::to_string(S));
+    bool SelfLoop = false;
+    bool MemberNeighbor = false;
+    for (NodeId V : G.neighbors(U)) {
+      if (V == U)
+        SelfLoop = true;
+      else if (State[static_cast<std::size_t>(V)] == MisIn)
+        MemberNeighbor = true;
+    }
+    if (S == MisIn) {
+      if (SelfLoop)
+        return OracleResult::fail("mis: member " + std::to_string(U) +
+                                  " has a self-loop (not independent)");
+      if (MemberNeighbor)
+        return OracleResult::fail("mis: member " + std::to_string(U) +
+                                  " has a member neighbour (not independent)");
+    } else if (!SelfLoop && !MemberNeighbor) {
+      return OracleResult::fail("mis: node " + std::to_string(U) +
+                                " is excluded without a member neighbour "
+                                "(not maximal)");
+    }
+  }
+  return OracleResult::pass();
+}

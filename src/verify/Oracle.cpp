@@ -1,0 +1,38 @@
+//===- verify/Oracle.cpp - Kernel-kind oracle dispatch --------------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Oracle.h"
+
+#include "kernels/KernelConfig.h"
+
+using namespace egacs;
+using namespace egacs::verify;
+
+OracleResult verify::checkKernelOutput(KernelKind Kind, const Csr &G,
+                                       NodeId Source, const KernelOutput &Out,
+                                       const KernelConfig &Cfg) {
+  switch (Kind) {
+  case KernelKind::BfsWl:
+  case KernelKind::BfsCx:
+  case KernelKind::BfsTp:
+  case KernelKind::BfsHb:
+    return checkBfsDistances(G, Source, Out.IntData);
+  case KernelKind::Cc:
+    return checkComponents(G, Out.IntData);
+  case KernelKind::Tri:
+    return checkTriangles(G, Out.Scalar0);
+  case KernelKind::SsspNf:
+    return checkSsspDistances(G, Source, Out.IntData);
+  case KernelKind::Mis:
+    return checkMis(G, Out.IntData);
+  case KernelKind::Pr:
+    return checkPageRank(G, Out.FloatData, Cfg.PrDamping, Cfg.PrTolerance);
+  case KernelKind::Mst:
+    return checkMstWeight(G, Out.Scalar0, Out.Scalar1);
+  }
+  return OracleResult::fail("unknown kernel kind");
+}

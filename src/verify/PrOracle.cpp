@@ -1,0 +1,127 @@
+//===- verify/PrOracle.cpp - PageRank residual and mass oracle ------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+//
+// Validates a PageRank vector against the push recurrence itself instead of
+// against a second run of the same iteration:
+//
+//  * shape      — finite ranks, each at least the teleport floor (1-d)/N.
+//  * residual   — recompute ONE iteration R' = (1-d)/N + d * A^T (R/deg) in
+//                 double precision. The kernel stops when consecutive
+//                 iterates differ by at most Tolerance in every coordinate,
+//                 which bounds the recomputed move of node v by
+//                 d * indeg(v) * Tolerance (each in-neighbour's contribution
+//                 changed by at most Tolerance/outdeg <= Tolerance). A rank
+//                 vector that violates this per-node budget cannot be the
+//                 fixpoint neighbourhood any converged run lands in.
+//  * mass       — summing the recurrence gives the conservation law
+//                 sum(R') = (1-d) + d * (sum(R) - D) with D the rank mass
+//                 parked on dangling (out-degree-0) nodes, whose residual
+//                 form |(1-d)*S + d*D - (1-d)| is bounded by the same
+//                 per-node budgets summed: d * numEdges * Tolerance. A
+//                 leaked or duplicated contribution breaks this globally
+//                 even when every local residual looks plausible.
+//
+// Float-vs-double slack: the kernel accumulates in float, the oracle in
+// double, so each bound carries an additional epsilon proportional to the
+// number of float additions feeding the node (indeg) resp. the graph (E+N).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Oracle.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+using namespace egacs;
+using namespace egacs::verify;
+
+OracleResult verify::checkPageRank(const Csr &G,
+                                   const std::vector<float> &Rank,
+                                   float Damping, float Tolerance) {
+  const NodeId N = G.numNodes();
+  if (Rank.size() != static_cast<std::size_t>(N))
+    return OracleResult::fail("pr: output has " + std::to_string(Rank.size()) +
+                              " entries for " + std::to_string(N) + " nodes");
+  if (N == 0)
+    return OracleResult::pass();
+
+  const double D = Damping;
+  const double Tol = Tolerance;
+  const double Base = (1.0 - D) / static_cast<double>(N);
+  // Float rounding slack per accumulated term (float has ~1.2e-7 relative
+  // precision; ranks are <= 1, generously scaled).
+  const double FloatEps = 1e-6;
+
+  for (NodeId V = 0; V < N; ++V) {
+    double R = Rank[static_cast<std::size_t>(V)];
+    if (!std::isfinite(R))
+      return OracleResult::fail("pr: node " + std::to_string(V) +
+                                " has non-finite rank");
+    if (R < Base - Base * 1e-3 - FloatEps)
+      return OracleResult::fail("pr: node " + std::to_string(V) + " rank " +
+                                std::to_string(R) +
+                                " is below the teleport floor " +
+                                std::to_string(Base));
+    if (R > 1.0 + 1e-3)
+      return OracleResult::fail("pr: node " + std::to_string(V) + " rank " +
+                                std::to_string(R) + " exceeds total mass 1");
+  }
+
+  // One recomputed iteration in double precision.
+  std::vector<double> Next(static_cast<std::size_t>(N), Base);
+  double DanglingMass = 0.0;
+  for (NodeId U = 0; U < N; ++U) {
+    EdgeId Deg = G.degree(U);
+    double R = Rank[static_cast<std::size_t>(U)];
+    if (Deg == 0) {
+      DanglingMass += R;
+      continue;
+    }
+    double C = D * R / static_cast<double>(Deg);
+    for (NodeId V : G.neighbors(U))
+      Next[static_cast<std::size_t>(V)] += C;
+  }
+
+  // Per-node residual budget: d * indeg(v) * Tol (see file header), plus
+  // float slack for the indeg(v)+1 float adds the kernel performed.
+  std::vector<std::int64_t> InDeg(static_cast<std::size_t>(N), 0);
+  for (NodeId U = 0; U < N; ++U)
+    for (NodeId V : G.neighbors(U))
+      ++InDeg[static_cast<std::size_t>(V)];
+  for (NodeId V = 0; V < N; ++V) {
+    double Budget =
+        D * static_cast<double>(InDeg[static_cast<std::size_t>(V)]) * Tol +
+        Tol + FloatEps * static_cast<double>(
+                             InDeg[static_cast<std::size_t>(V)] + 1);
+    double Moved = std::fabs(Next[static_cast<std::size_t>(V)] -
+                             static_cast<double>(
+                                 Rank[static_cast<std::size_t>(V)]));
+    if (Moved > Budget)
+      return OracleResult::fail(
+          "pr: node " + std::to_string(V) + " moves by " +
+          std::to_string(Moved) + " under one recomputed iteration, over its "
+          "convergence budget " + std::to_string(Budget) +
+          " (not a fixpoint neighbourhood)");
+  }
+
+  // Mass conservation: (1-d)*S + d*D_mass == (1-d), within the summed
+  // residual budget d*E*Tol plus float slack for ~E+N additions.
+  double S = 0.0;
+  for (NodeId V = 0; V < N; ++V)
+    S += Rank[static_cast<std::size_t>(V)];
+  double Law = std::fabs((1.0 - D) * S + D * DanglingMass - (1.0 - D));
+  double MassBudget =
+      D * static_cast<double>(G.numEdges()) * Tol +
+      Tol + FloatEps * static_cast<double>(G.numEdges() + N);
+  if (Law > MassBudget)
+    return OracleResult::fail(
+        "pr: mass conservation violated: |(1-d)*sum + d*dangling - (1-d)| = " +
+        std::to_string(Law) + " exceeds budget " +
+        std::to_string(MassBudget) + " (leaked or duplicated rank mass)");
+  return OracleResult::pass();
+}

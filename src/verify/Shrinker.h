@@ -1,0 +1,51 @@
+//===- verify/Shrinker.h - Failure-preserving graph minimizer ---*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy delta-debugging minimizer for fuzz failures. Given a symmetric
+/// graph on which some predicate fails (kernel output rejected by its
+/// oracle), repeatedly tries dropping contiguous blocks of node ids and
+/// then blocks of undirected edges, keeping every candidate on which the
+/// predicate still fails, halving the block size until single elements.
+/// The result is written as a plain edge-list file (graph/Loader.h format)
+/// so a minimized repro can be replayed with --graph-file=.
+///
+/// Candidates are rebuilt through buildCsr with symmetrization from the
+/// undirected edge multiset (arcs with src <= dst), so every candidate is
+/// a well-formed symmetric graph: self-loops stay single arcs, parallel
+/// edges keep their multiplicity, weights follow their edge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_VERIFY_SHRINKER_H
+#define EGACS_VERIFY_SHRINKER_H
+
+#include "graph/Csr.h"
+
+#include <functional>
+#include <string>
+
+namespace egacs::verify {
+
+/// Predicate: returns true when the failure still reproduces on \p G.
+using FailsFn = std::function<bool(const Csr &G)>;
+
+/// Minimizes \p G while \p Fails keeps returning true on the candidate.
+/// Runs at most \p Budget predicate evaluations (each evaluation re-runs
+/// the kernel, so this bounds shrink time). Returns the smallest failing
+/// graph found; \p G itself when nothing could be dropped.
+Csr shrinkGraph(const Csr &G, const FailsFn &Fails, int Budget = 300);
+
+/// Writes every arc of \p G as "src dst [weight]" lines with a comment
+/// header, the format loadEdgeList reads back verbatim (Symmetrize=false).
+/// Returns false (with a stderr diagnostic) when the file cannot be
+/// written.
+bool writeEdgeListFile(const Csr &G, const std::string &Path);
+
+} // namespace egacs::verify
+
+#endif // EGACS_VERIFY_SHRINKER_H
