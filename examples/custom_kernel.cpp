@@ -14,7 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "graph/Generators.h"
-#include "kernels/KernelUtil.h"
+#include "engine/Engine.h"
 #include "simd/Targets.h"
 #include "support/Options.h"
 

@@ -7,7 +7,7 @@
 
 #include "baselines/ligra/Apps.h"
 
-#include "kernels/KernelUtil.h"
+#include "engine/Engine.h"
 #include "kernels/Mis.h"
 #include "support/Rng.h"
 

@@ -7,7 +7,7 @@
 
 #include "baselines/scalar/ScalarKernels.h"
 
-#include "kernels/KernelUtil.h"
+#include "engine/Engine.h"
 #include "kernels/Mis.h"
 #include "simd/Atomics.h"
 #include "support/Rng.h"

@@ -1,0 +1,26 @@
+//===- engine/Engine.h - Unified operator-engine umbrella -------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One include for everything a kernel (hand-written or IrGL-generated)
+/// composes: per-run state (TaskContext), the vertex- and edge-map
+/// operators (VertexMap, EdgeMap), the direction-optimizing frontier loop
+/// (FrontierDriver), and the iterative pipe executor (PipeDriver). See
+/// DESIGN.md §12 for the operator/policy matrix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_ENGINE_ENGINE_H
+#define EGACS_ENGINE_ENGINE_H
+
+#include "engine/EdgeMap.h"
+#include "engine/FrontierDriver.h"
+#include "engine/PipeDriver.h"
+#include "engine/TaskContext.h"
+#include "engine/VertexMap.h"
+
+#endif // EGACS_ENGINE_ENGINE_H

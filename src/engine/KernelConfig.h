@@ -1,4 +1,4 @@
-//===- kernels/KernelConfig.h - Kernel execution configuration --*- C++ -*-===//
+//===- engine/KernelConfig.h - Kernel execution configuration --*- C++ -*-===//
 //
 // Part of the EGACS project, a reproduction of "Efficient Execution of Graph
 // Algorithms on CPU with SIMD Extensions" (CGO 2021).
@@ -15,8 +15,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef EGACS_KERNELS_KERNELCONFIG_H
-#define EGACS_KERNELS_KERNELCONFIG_H
+#ifndef EGACS_ENGINE_KERNELCONFIG_H
+#define EGACS_ENGINE_KERNELCONFIG_H
 
 #include "graph/GraphView.h"
 #include "runtime/TaskSystem.h"
@@ -160,4 +160,4 @@ struct KernelConfig {
 
 } // namespace egacs
 
-#endif // EGACS_KERNELS_KERNELCONFIG_H
+#endif // EGACS_ENGINE_KERNELCONFIG_H

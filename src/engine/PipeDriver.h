@@ -1,4 +1,4 @@
-//===- kernels/PipeDriver.h - Iterative kernel execution --------*- C++ -*-===//
+//===- engine/PipeDriver.h - Iterative kernel execution ---------*- C++ -*-===//
 //
 // Part of the EGACS project, a reproduction of "Efficient Execution of Graph
 // Algorithms on CPU with SIMD Extensions" (CGO 2021).
@@ -19,10 +19,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef EGACS_KERNELS_PIPEDRIVER_H
-#define EGACS_KERNELS_PIPEDRIVER_H
+#ifndef EGACS_ENGINE_PIPEDRIVER_H
+#define EGACS_ENGINE_PIPEDRIVER_H
 
-#include "kernels/KernelConfig.h"
+#include "engine/KernelConfig.h"
 #include "runtime/Barrier.h"
 
 #include <atomic>
@@ -81,8 +81,8 @@ inline void runPipe(const KernelConfig &Cfg, const TaskFn &Phase,
 
 // TaskRange (the Listing 1 static block decomposition) moved to
 // sched/WorkStealing.h, which also provides its dynamic alternatives; it is
-// still visible here through kernels/KernelConfig.h.
+// still visible here through engine/KernelConfig.h.
 
 } // namespace egacs
 
-#endif // EGACS_KERNELS_PIPEDRIVER_H
+#endif // EGACS_ENGINE_PIPEDRIVER_H

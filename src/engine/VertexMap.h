@@ -1,4 +1,4 @@
-//===- kernels/KernelUtil.h - Shared kernel building blocks -----*- C++ -*-===//
+//===- engine/VertexMap.h - Vertex-iteration operators ----------*- C++ -*-===//
 //
 // Part of the EGACS project, a reproduction of "Efficient Execution of Graph
 // Algorithms on CPU with SIMD Extensions" (CGO 2021).
@@ -6,173 +6,31 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Helpers every SPMD kernel composes:
-///  * visitEdges / flushEdges  - edge iteration that honours the Nested
-///    Parallelism flag (inspector-executor vs per-lane loops);
-///  * pushFrontier             - worklist push that honours Cooperative
-///    Conversion and fiber-level aggregation;
-///  * forEachWorklistSlice     - a task's share of the input worklist,
+/// Vertex iteration, from raw slice loops to the engine operators kernels
+/// compose:
+///  * forEachWorklistSlice - a task's share of the input worklist,
 ///    fiber-interleaved when Fibers is on (the iteration-order effect the
-///    paper observes on CC's locality);
-///  * forEachNodeSlice         - a task's share of the node id range;
-///  * makeLoopScheduler        - the LoopScheduler instance the two slice
-///    helpers pull their ranges from (Static block, Chunked cursor, or
-///    work Stealing per Cfg.Sched);
-///  * TaskLocal                - per-task scratch (NP staging, local push
-///    buffers) allocated once per kernel run.
+///    paper observes on CC's locality), with a staged (prefetching)
+///    overload;
+///  * forEachNodeSlice     - a task's share of the view's node slots in
+///    layout iteration order, plus a staged overload and a legacy id-range
+///    form;
+///  * engine::vertexMapSparse/Dense/Ranges - the operator spellings over an
+///    engine::Ctx; Sparse and the Dense/Ranges forms are deliberately
+///    unstaged (pure property phases touch no edge arrays, so the
+///    inspect-executor pipeline would only add overhead).
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef EGACS_KERNELS_KERNELUTIL_H
-#define EGACS_KERNELS_KERNELUTIL_H
+#ifndef EGACS_ENGINE_VERTEXMAP_H
+#define EGACS_ENGINE_VERTEXMAP_H
 
-#include "kernels/KernelConfig.h"
-#include "kernels/Kernels.h"
-#include "kernels/PipeDriver.h"
+#include "engine/TaskContext.h"
 #include "runtime/Fibers.h"
-#include "sched/NestedParallelism.h"
 #include "sched/VertexLoop.h"
-#include "worklist/BitmapFrontier.h"
 #include "worklist/Worklist.h"
 
-#include <memory>
-#include <vector>
-
 namespace egacs {
-
-/// Per-task scratch state for one kernel run.
-struct TaskLocal {
-  NpScratch Np;
-  LocalPushBuffer Local;
-  /// Batched prefetch statistics; flushed to the global counters when the
-  /// task locals are destroyed at the end of the run.
-  PrefetchCounters Pf;
-
-  TaskLocal(std::size_t NpCapacity, std::size_t LocalCapacity)
-      : Np(NpCapacity), Local(LocalCapacity) {}
-
-  /// Arms this task's staged execution (NP staging buffer included) with
-  /// the kernel-run plan \p PF.
-  void armPrefetch(const PrefetchPlan &PF) { Np.setPrefetch(&PF, &Pf); }
-};
-
-/// Allocates per-task scratch for \p Cfg.NumTasks tasks.
-inline std::vector<std::unique_ptr<TaskLocal>>
-makeTaskLocals(const KernelConfig &Cfg, std::size_t LocalCapacity = 8192) {
-  std::vector<std::unique_ptr<TaskLocal>> Locals;
-  Locals.reserve(static_cast<std::size_t>(Cfg.NumTasks));
-  std::size_t NpCapacity =
-      Cfg.NpBufferCapacity > 0
-          ? static_cast<std::size_t>(Cfg.NpBufferCapacity)
-          : 4096;
-  for (int T = 0; T < Cfg.NumTasks; ++T)
-    Locals.push_back(std::make_unique<TaskLocal>(NpCapacity, LocalCapacity));
-  return Locals;
-}
-
-/// Visits the edges of the active nodes in \p Node, choosing the NP
-/// inspector-executor or the plain per-lane loop per Cfg. The caller must
-/// call flushEdges after its last vector of the phase. \p Slot is the
-/// layout slot of lane 0 when the node vector came from a slot-aligned
-/// topology sweep (forEachNodeSlice passes it through), NoSlot for
-/// worklist-order vectors; SELL views use it to substitute unit-stride
-/// chunk sweeps for the neighbor gathers.
-template <typename BK, typename VT, typename EdgeFnT>
-void visitEdges(const KernelConfig &Cfg, const VT &G, simd::VInt<BK> Node,
-                simd::VMask<BK> Act, NpScratch &Scratch, EdgeFnT &&Fn,
-                std::int64_t Slot = NoSlot) {
-  if (Cfg.NestedParallelism)
-    npForEachEdge<BK>(G, Node, Act, Scratch, Fn, Slot);
-  else
-    plainForEachEdge<BK>(G, Node, Act, Fn, Slot);
-}
-
-/// Drains any NP-staged low-degree edges.
-template <typename BK, typename VT, typename EdgeFnT>
-void flushEdges(const KernelConfig &Cfg, const VT &G, NpScratch &Scratch,
-                EdgeFnT &&Fn) {
-  if (Cfg.NestedParallelism)
-    Scratch.flush<BK>(G, Fn);
-}
-
-/// Pushes the active lanes of \p Values into the frontier according to the
-/// configured aggregation level: fiber-level CC (local buffer) when
-/// \p Local is non-null, task-level CC when Cfg.CoopConversion, else one
-/// atomic per lane.
-template <typename BK>
-void pushFrontier(const KernelConfig &Cfg, Worklist &Out,
-                  LocalPushBuffer *Local, simd::VInt<BK> Values,
-                  simd::VMask<BK> M) {
-  if (Local) {
-    if (Local->nearlyFull(BK::Width))
-      Local->flush(Out);
-    Local->push<BK>(Values, M);
-    return;
-  }
-  if (Cfg.CoopConversion) {
-    pushCoop<BK>(Out, Values, M);
-    return;
-  }
-  pushNaive<BK>(Out, Values, M);
-}
-
-/// Seeds a prefetch plan from Cfg's policy/distance knobs; kernels addProp
-/// their hot property arrays before entering the staged loops.
-inline PrefetchPlan kernelPrefetchPlan(const KernelConfig &Cfg) {
-  PrefetchPlan PF;
-  PF.Policy = Cfg.Prefetch;
-  PF.Dist = Cfg.PrefetchDist;
-  return PF;
-}
-
-/// Builds the LoopScheduler for one kernel run from Cfg's work-distribution
-/// knobs. \p MaxItems must bound the largest Size any scheduled loop of the
-/// run will see (worklist capacity for frontier sweeps, numNodes/numEdges
-/// for topology sweeps); it sizes the stealing deques.
-inline std::unique_ptr<LoopScheduler>
-makeLoopScheduler(const KernelConfig &Cfg, std::int64_t MaxItems) {
-  return std::make_unique<LoopScheduler>(Cfg.Sched, Cfg.NumTasks,
-                                         Cfg.ChunkSize, Cfg.GuidedChunks,
-                                         MaxItems, Cfg.SchedInstrument);
-}
-
-// --- Direction-optimizing traversal engine -----------------------------------
-
-/// The per-round mode of a direction-optimizing kernel. runPipe's phase
-/// list is fixed across iterations, so the drivers run three fixed phases
-/// (prepare / convert / main) whose bodies branch on the mode the previous
-/// advance chose:
-///   Push      - prepare/convert idle; main = sparse worklist round.
-///   PullEnter - prepare clears both bitmaps; convert scatters the sparse
-///               frontier into the current bitmap; main = pull scan.
-///   Pull      - prepare clears the (just-swapped, still dirty) next
-///               bitmap; main = pull scan.
-///   PushEnter - prepare popcounts the current bitmap's word slices;
-///               convert expands them into the input worklist (sorted,
-///               duplicate-free); main = sparse round.
-/// Every phase uses either the one scheduled loop of the round (the main
-/// scan) or BitmapFrontier's static word shares, honouring the
-/// LoopScheduler's one-scheduled-loop-per-barrier-episode contract.
-enum class DirRoundMode { Push, PullEnter, Pull, PushEnter };
-
-/// True for the modes whose main phase consumes the bitmap frontier.
-inline bool dirModeIsPull(DirRoundMode M) {
-  return M == DirRoundMode::PullEnter || M == DirRoundMode::Pull;
-}
-
-/// Out-degree sum of the worklist \p WL under \p G — Beamer's scout count,
-/// the numerator of the alpha test. Serial; runs in the advance step where
-/// the frontier is at most a few percent of the nodes.
-template <typename VT>
-std::int64_t frontierEdges(const VT &G, const Worklist &WL) {
-  const EdgeId *Rows = G.rowStart();
-  std::int64_t Sum = 0;
-  for (std::int32_t I = 0, E = WL.size(); I < E; ++I) {
-    NodeId N = WL[I];
-    Sum += Rows[N + 1] - Rows[N];
-  }
-  return Sum;
-}
 
 /// Iterates Items[Begin, End) one vector at a time: Body(VInt Values,
 /// VMask Active). With Fibers enabled the range is further split into the
@@ -351,6 +209,42 @@ void forEachNodeSlice(LoopScheduler &Sched, std::int64_t NumNodes,
                   });
 }
 
+namespace engine {
+
+/// Sparse vertex map: applies Body(VInt NodeIds, VMask Active) to this
+/// task's share of the worklist \p In. Deliberately unstaged — the sparse
+/// vertex phases are pure property sweeps (mark, promote, rebuild) with no
+/// edge-array traffic for an inspect stage to hide.
+template <typename BK, typename VT, typename BodyT>
+void vertexMapSparse(const Ctx<VT> &E, const Worklist &In, BodyT &&Body) {
+  forEachWorklistSlice<BK>(E.Cfg, E.Sched, In.items(), In.size(), E.TaskIdx,
+                           E.TaskCount, Body);
+}
+
+/// Dense vertex map over the context view: Body(VInt NodeIds, VMask Active,
+/// int64 Slot) for every node slot in layout order.
+template <typename BK, typename VT, typename BodyT>
+void vertexMapDense(const Ctx<VT> &E, BodyT &&Body) {
+  forEachNodeSlice<BK>(E.G, E.Sched, E.TaskIdx, E.TaskCount, Body);
+}
+
+/// Dense vertex map over an explicit view \p View (e.g. the transpose for
+/// pull rounds) scheduled by the context.
+template <typename BK, typename VT, typename BodyT>
+void vertexMapDense(const Ctx<VT> &E, const VT &View, BodyT &&Body) {
+  forEachNodeSlice<BK>(View, E.Sched, E.TaskIdx, E.TaskCount, Body);
+}
+
+/// Scalar range map: hands Body raw [Begin, End) ranges of a \p Size-item
+/// iteration space — for phases whose bodies are inherently serial per
+/// element (pointer chasing, 64-bit packed keys).
+template <typename VT, typename BodyT>
+void vertexMapRanges(const Ctx<VT> &E, std::int64_t Size, BodyT &&Body) {
+  E.Sched.forRanges(Size, E.TaskIdx, E.TaskCount, Body);
+}
+
+} // namespace engine
+
 } // namespace egacs
 
-#endif // EGACS_KERNELS_KERNELUTIL_H
+#endif // EGACS_ENGINE_VERTEXMAP_H

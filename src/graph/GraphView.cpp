@@ -7,6 +7,8 @@
 
 #include "graph/GraphView.h"
 
+#include "support/ParseEnum.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -33,10 +35,7 @@ LayoutKind egacs::parseLayoutKind(const std::string &Name) {
     return LayoutKind::HubCsr;
   if (Name == "sell")
     return LayoutKind::Sell;
-  std::fprintf(stderr,
-               "error: unknown layout '%s' (expected csr|hubcsr|sell)\n",
-               Name.c_str());
-  std::exit(2);
+  parseEnumFail("layout", Name, "csr|hubcsr|sell");
 }
 
 // --- HubCsrView --------------------------------------------------------------

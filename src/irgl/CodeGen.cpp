@@ -439,7 +439,8 @@ std::string egacs::irgl::emitCpp(const Program &P,
   Out += "// Generated by the EGACS mini IrGL compiler from program '" +
          P.Name + "'.\n";
   Out += "// Backend: egacs SPMD C++ (the role ISPC plays in the paper).\n";
-  Out += "#include \"kernels/KernelUtil.h\"\n\n";
+  Out += "#include \"engine/Engine.h\"\n";
+  Out += "#include \"kernels/Kernels.h\"\n\n";
   Out += "namespace " + Opts.Namespace + " {\n\n";
   Out += "using namespace egacs;\n";
   Out += "using namespace egacs::simd;\n\n";

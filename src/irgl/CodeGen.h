@@ -22,7 +22,7 @@
 
 #include "graph/GraphView.h"
 #include "irgl/Ast.h"
-#include "kernels/KernelConfig.h"
+#include "engine/KernelConfig.h"
 
 #include <string>
 

@@ -6,29 +6,20 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The paper's four BFS variants (Table VIII, Table X):
-///
-///  * bfs-wl  - worklist-driven level-synchronous BFS; pushes use task-level
-///              Cooperative Conversion when enabled.
-///  * bfs-cx  - worklist BFS whose pushes are aggregated per task round in a
-///              fiber-local buffer, so each task issues one atomic per round
-///              (the fiber-level CC variant of Table V; "cx" read as
-///              coordinated/exact push).
-///  * bfs-tp  - topology-driven BFS: every round rescans all nodes and
-///              expands those on the current level; no worklist, no push
-///              atomics.
-///  * bfs-hb  - hybrid: dense (topology) rounds for large frontiers, sparse
-///              (worklist) rounds otherwise; also admits fiber-level CC.
-///
-/// All variants produce hop distances from the source (InfDist when
-/// unreachable) and are verified against kernels/Reference.h.
+/// The paper's four BFS variants (Table VIII, Table X), written as functor
+/// definitions over the operator engine (engine/Engine.h): bfs-wl
+/// (worklist-driven), bfs-cx (worklist with fiber-level Cooperative
+/// Conversion, Table V), bfs-tp (topology-driven rescans), and bfs-hb
+/// (hybrid sparse/dense rounds). All produce hop distances from the source
+/// (InfDist when unreachable), verified against kernels/Reference.h.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef EGACS_KERNELS_BFS_H
 #define EGACS_KERNELS_BFS_H
 
-#include "kernels/KernelUtil.h"
+#include "engine/Engine.h"
+#include "kernels/Kernels.h"
 
 #include <vector>
 
@@ -39,303 +30,216 @@ namespace bfs_detail {
 /// One sparse (worklist) BFS round for one task: expands In's slice into
 /// Out. When \p Local is non-null pushes aggregate fiber-locally.
 template <typename BK, typename VT>
-void bfsSparseRound(const KernelConfig &Cfg, LoopScheduler &Sched,
-                    const VT &G, std::int32_t *Dist, std::int32_t NextLevel,
-                    const Worklist &In, Worklist &Out, TaskLocal &TL,
-                    int TaskIdx, int TaskCount, bool FiberLevelCc,
-                    const PrefetchPlan &PF) {
+void bfsSparseRound(engine::Ctx<VT> &E, std::int32_t *Dist,
+                    std::int32_t NextLevel, const Worklist &In, Worklist &Out,
+                    bool FiberLevelCc) {
   using namespace simd;
-  TL.armPrefetch(PF);
-  LocalPushBuffer *Local = FiberLevelCc && Cfg.Fibers ? &TL.Local : nullptr;
+  LocalPushBuffer *Local =
+      FiberLevelCc && E.Cfg.Fibers ? &E.TL.Local : nullptr;
   VInt<BK> Next = splat<BK>(NextLevel);
-  auto OnEdge = [&](VInt<BK>, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
-    VMask<BK> Won = updateMinVector<BK>(Cfg.Update, Dist, Dst, Next, EAct);
-    if (any(Won))
-      pushFrontier<BK>(Cfg, Out, Local, Dst, Won);
-  };
-  forEachWorklistSlice<BK>(Cfg, G, Sched, In.items(), In.size(), TaskIdx,
-                           TaskCount, PF, TL.Pf,
-                           [&](VInt<BK> Node, VMask<BK> Act) {
-                             visitEdges<BK>(Cfg, G, Node, Act, TL.Np, OnEdge);
-                           });
-  flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
+  engine::edgeMapSparse<BK>(
+      E, In, [&](VInt<BK>, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
+        VMask<BK> Won =
+            updateMinVector<BK>(E.Cfg.Update, Dist, Dst, Next, EAct);
+        if (any(Won))
+          pushFrontier<BK>(E.Cfg, Out, Local, Dst, Won);
+      });
   if (Local)
     Local->flush(Out);
 }
 
-/// The sparse-round prefetch plan: the distance array is touched through
-/// the destination gathers of the min-relaxation.
-inline PrefetchPlan bfsPlan(const KernelConfig &Cfg,
-                            const std::int32_t *Dist) {
+/// One dense (topology) BFS round for one task: expands every node on
+/// \p Level. A null \p Out counts relaxations only (bfs-tp's fixpoint
+/// test); otherwise winners are pushed into the next frontier (bfs-hb).
+template <typename BK, typename VT>
+std::int32_t bfsDenseRound(engine::Ctx<VT> &E, std::int32_t *Dist,
+                           std::int32_t Level, Worklist *Out,
+                           LocalPushBuffer *Local) {
+  using namespace simd;
+  std::int32_t Wins = 0;
+  VInt<BK> Cur = splat<BK>(Level);
+  VInt<BK> Next = splat<BK>(Level + 1);
+  engine::edgeMapDense<BK>(
+      E,
+      [&](VInt<BK> Node, VMask<BK> Act) {
+        // Relaxed gather: other tasks CAS Level+1 into Dist during this
+        // same scan, and the == Cur test must not be a data race.
+        return Act & (gatherRelaxed<BK>(Dist, Node, Act) == Cur);
+      },
+      [&](VInt<BK>, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
+        VMask<BK> Won =
+            updateMinVector<BK>(E.Cfg.Update, Dist, Dst, Next, EAct);
+        if (Out) {
+          if (any(Won))
+            pushFrontier<BK>(E.Cfg, *Out, Local, Dst, Won);
+        } else {
+          Wins += popcount(Won);
+        }
+      });
+  if (Local)
+    Local->flush(*Out);
+  return Wins;
+}
+
+/// The run's prefetch plan: Dist is touched through the relaxation's
+/// destination gathers; \p Dense rounds also gather it by node order for
+/// the level filter, making it hot through both index shapes.
+inline PrefetchPlan bfsPlan(const KernelConfig &Cfg, const std::int32_t *Dist,
+                            bool Dense = false) {
   PrefetchPlan PF = kernelPrefetchPlan(Cfg);
-  PF.addProp(Dist, static_cast<int>(sizeof(std::int32_t)),
-             PrefetchIndexKind::Dst);
+  planProp(PF, Dist, PrefetchIndexKind::Dst);
+  if (Dense)
+    planProp(PF, Dist, PrefetchIndexKind::Node);
   return PF;
 }
 
-/// The direction-optimizing BFS driver behind bfs-wl and bfs-hb when
-/// Cfg.Dir is Pull or Hybrid. \p GT views the transposed graph. Push rounds
-/// are the exact sparse rounds of the push-only path; pull rounds scan all
-/// still-unvisited destinations, gather their in-neighbors against the
-/// current frontier bitmap, and retire each lane on its first in-frontier
-/// parent (no worklist pushes, no CAS: every destination is lane-owned, so
-/// distances and next-frontier bits are written once). Hybrid switches per
-/// Beamer's alpha/beta heuristic: go pull when the frontier's out-edges
-/// exceed 1/AlphaNum of the unexplored edges, back to push when the
-/// frontier shrinks under numNodes/BetaDenom.
+/// Hop distances seeded at \p Source (InfDist elsewhere).
+inline std::vector<std::int32_t> initDist(NodeId N, NodeId Source) {
+  std::vector<std::int32_t> Dist(static_cast<std::size_t>(N), InfDist);
+  if (N != 0)
+    Dist[static_cast<std::size_t>(Source)] = 0;
+  return Dist;
+}
+
+/// The direction-optimizing BFS behind bfs-wl and bfs-hb when Cfg.Dir is
+/// Pull or Hybrid: exact sparse push rounds, plus pull rounds over the
+/// transposed view \p GT that retire each still-unvisited destination on
+/// its first in-frontier parent (lane-owned writes: no CAS, no pushes).
+/// The frontier driver owns the bitmaps and the Beamer alpha/beta switch
+/// against the shrinking unexplored-edge budget (engine/FrontierDriver.h).
 template <typename BK, typename VT>
 std::vector<std::int32_t> bfsDirection(const VT &G, const VT &GT,
                                        const KernelConfig &Cfg, NodeId Source,
                                        bool FiberLevelCc) {
   using namespace simd;
-  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
-                                 InfDist);
-  Dist[static_cast<std::size_t>(Source)] = 0;
-
+  std::vector<std::int32_t> Dist = initDist(G.numNodes(), Source);
   WorklistPair WL(static_cast<std::size_t>(G.numNodes()) + 64);
   WL.in().pushSerial(Source);
-  auto Locals = makeTaskLocals(
-      Cfg, static_cast<std::size_t>(G.numNodes()) / Cfg.NumTasks + 4096);
-  auto Sched = makeLoopScheduler(Cfg, G.numNodes() + 64);
-  PrefetchPlan PF = bfsPlan(Cfg, Dist.data());
+  engine::Run<VT> R(Cfg, G, G.numNodes() + 64, bfsPlan(Cfg, Dist.data()),
+                    static_cast<std::size_t>(G.numNodes()) / Cfg.NumTasks +
+                        4096);
   std::int32_t Level = 0;
 
-  BitmapFrontier BmpA(G.numNodes(), Cfg.NumTasks);
-  BitmapFrontier BmpB(G.numNodes(), Cfg.NumTasks);
-  BitmapFrontier *CurB = &BmpA, *NextB = &BmpB;
-  DirRoundMode Mode = Cfg.Dir == Direction::Pull ? DirRoundMode::PullEnter
-                                                 : DirRoundMode::Push;
-  std::int64_t EdgesToCheck = static_cast<std::int64_t>(G.numEdges());
-  const int Alpha = Cfg.AlphaNum > 0 ? Cfg.AlphaNum : 15;
-  const int Beta = Cfg.BetaDenom > 0 ? Cfg.BetaDenom : 18;
+  engine::frontierDriver<BK>(
+      Cfg, G, WL,
+      Cfg.Dir == Direction::Pull ? DirRoundMode::PullEnter
+                                 : DirRoundMode::Push,
+      /*StartAllSet=*/false, /*ScoutDecrements=*/true,
+      [&](int TaskIdx, int TaskCount) {
+        auto E = R.ctx(TaskIdx, TaskCount);
+        bfsSparseRound<BK>(E, Dist.data(), Level + 1, WL.in(), WL.out(),
+                           FiberLevelCc);
+      },
+      [&](BitmapFrontier &CurB, BitmapFrontier &NextB, int TaskIdx,
+          int TaskCount) {
+        auto E = R.ctx(GT, TaskIdx, TaskCount);
+        std::int64_t Scanned = 0, Exits = 0, Fresh = 0;
+        VInt<BK> Next = splat<BK>(Level + 1);
+        engine::vertexMapDense<BK>(
+            E, [&](VInt<BK> Node, VMask<BK> Act, std::int64_t Slot) {
+              VMask<BK> Unvisited =
+                  Act &
+                  (gather<BK>(Dist.data(), Node, Act) == splat<BK>(InfDist));
+              if (!any(Unvisited))
+                return;
+              VMask<BK> Found = maskNone<BK>();
+              engine::edgeMapPull<BK>(
+                  GT, Node, Unvisited,
+                  [&](VInt<BK>, VInt<BK> Src, VInt<BK>, VMask<BK> Live) {
+                    Scanned += popcount(Live);
+                    VMask<BK> Hit = CurB.testVector<BK>(Src, Live);
+                    Found = Found | Hit;
+                    return Live & ~Hit;
+                  },
+                  Slot, &Exits);
+              if (any(Found)) {
+                scatter<BK>(Dist.data(), Node, Next, Found);
+                Fresh += NextB.setVector<BK>(Node, Found);
+              }
+            });
+        NextB.addCount(TaskIdx, Fresh);
+        EGACS_STAT_ADD(PullEdgesScanned, static_cast<std::uint64_t>(Scanned));
+        EGACS_STAT_ADD(PullEarlyExits, static_cast<std::uint64_t>(Exits));
+      },
+      [&] { ++Level; });
+  return Dist;
+}
 
-  TaskFn Prepare = [&](int TaskIdx, int TaskCount) {
-    switch (Mode) {
-    case DirRoundMode::Push:
-      return;
-    case DirRoundMode::PullEnter:
-      CurB->clearSlice(TaskIdx, TaskCount);
-      NextB->clearSlice(TaskIdx, TaskCount);
-      return;
-    case DirRoundMode::Pull:
-      NextB->clearSlice(TaskIdx, TaskCount);
-      return;
-    case DirRoundMode::PushEnter:
-      CurB->countSlice(TaskIdx, TaskCount);
-      return;
-    }
-  };
-  TaskFn Convert = [&](int TaskIdx, int TaskCount) {
-    if (Mode == DirRoundMode::PullEnter)
-      CurB->fromWorklistSlice<BK>(WL.in(), TaskIdx, TaskCount);
-    else if (Mode == DirRoundMode::PushEnter)
-      CurB->toWorklistSlice<BK>(WL.in(), TaskIdx, TaskCount);
-  };
-  TaskFn Main = [&](int TaskIdx, int TaskCount) {
-    if (!dirModeIsPull(Mode)) {
-      bfsSparseRound<BK>(Cfg, *Sched, G, Dist.data(), Level + 1, WL.in(),
-                         WL.out(), *Locals[TaskIdx], TaskIdx, TaskCount,
-                         FiberLevelCc, PF);
-      return;
-    }
-    std::int64_t Scanned = 0, Exits = 0, Fresh = 0;
-    VInt<BK> Next = splat<BK>(Level + 1);
-    forEachNodeSlice<BK>(
-        GT, *Sched, TaskIdx, TaskCount,
-        [&](VInt<BK> Node, VMask<BK> Act, std::int64_t Slot) {
-          VMask<BK> Unvisited =
-              Act &
-              (gather<BK>(Dist.data(), Node, Act) == splat<BK>(InfDist));
-          if (!any(Unvisited))
-            return;
-          VMask<BK> Found = maskNone<BK>();
-          pullForEachEdge<BK>(
-              GT, Node, Unvisited,
-              [&](VInt<BK>, VInt<BK> Src, VInt<BK>, VMask<BK> Live) {
-                Scanned += popcount(Live);
-                VMask<BK> Hit = CurB->testVector<BK>(Src, Live);
-                Found = Found | Hit;
-                return Live & ~Hit;
-              },
-              Slot, &Exits);
-          if (any(Found)) {
-            scatter<BK>(Dist.data(), Node, Next, Found);
-            Fresh += NextB->setVector<BK>(Node, Found);
-          }
-        });
-    NextB->addCount(TaskIdx, Fresh);
-    EGACS_STAT_ADD(PullEdgesScanned, static_cast<std::uint64_t>(Scanned));
-    EGACS_STAT_ADD(PullEarlyExits, static_cast<std::uint64_t>(Exits));
-  };
+/// The push-only worklist pipe shared by bfs-wl and bfs-cx (they differ
+/// only in fiber-level CC and local-buffer sizing).
+template <typename BK, typename VT>
+std::vector<std::int32_t> bfsWorklist(const VT &G, const KernelConfig &Cfg,
+                                      NodeId Source, bool FiberLevelCc,
+                                      std::size_t LocalCapacity) {
+  std::vector<std::int32_t> Dist = initDist(G.numNodes(), Source);
+  if (G.numNodes() == 0)
+    return Dist;
+  WorklistPair WL(static_cast<std::size_t>(G.numNodes()) + 64);
+  WL.in().pushSerial(Source);
+  engine::Run<VT> R(Cfg, G, G.numNodes() + 64, bfsPlan(Cfg, Dist.data()),
+                    LocalCapacity);
+  std::int32_t Level = 0;
 
-  runPipe(Cfg, std::vector<TaskFn>{Prepare, Convert, Main}, [&] {
-    bool WasPull = dirModeIsPull(Mode);
-    std::int64_t FrontierSize;
-    if (WasPull) {
-      std::swap(CurB, NextB);
-      FrontierSize = CurB->totalCount();
-    } else {
-      WL.swap();
-      FrontierSize = WL.in().size();
-    }
-    ++Level;
-    if (FrontierSize == 0)
-      return false;
-    if (Cfg.Dir == Direction::Pull) {
-      Mode = WasPull ? DirRoundMode::Pull : DirRoundMode::PullEnter;
-      return true;
-    }
-    if (!WasPull) {
-      std::int64_t Scout = frontierEdges(G, WL.in());
-      EdgesToCheck -= Scout;
-      if (Scout > EdgesToCheck / Alpha) {
-        Mode = DirRoundMode::PullEnter;
-        EGACS_STAT_ADD(DirectionSwitches, 1);
-        EGACS_STAT_ADD(FrontierConversions, 1);
-      } else {
-        Mode = DirRoundMode::Push;
-      }
-    } else if (FrontierSize < G.numNodes() / Beta) {
-      // The conversion phases refill WL.in() from the bitmap; the sparse
-      // round then pushes into WL.out(). Both lists are stale from before
-      // the pull stretch.
-      WL.in().clear();
-      WL.out().clear();
-      Mode = DirRoundMode::PushEnter;
-      EGACS_STAT_ADD(DirectionSwitches, 1);
-      EGACS_STAT_ADD(FrontierConversions, 1);
-    } else {
-      Mode = DirRoundMode::Pull;
-    }
-    return true;
-  });
+  runPipe(
+      Cfg,
+      TaskFn([&](int TaskIdx, int TaskCount) {
+        auto E = R.ctx(TaskIdx, TaskCount);
+        bfsSparseRound<BK>(E, Dist.data(), Level + 1, WL.in(), WL.out(),
+                           FiberLevelCc);
+      }),
+      [&] {
+        WL.swap();
+        ++Level;
+        return !WL.in().empty();
+      });
   return Dist;
 }
 
 } // namespace bfs_detail
 
-/// bfs-wl: worklist level-synchronous BFS. A non-null \p GT (the transposed
-/// view) plus Cfg.Dir != Push engages the direction-optimizing driver; the
-/// push-only path below is byte-for-byte the pre-direction kernel.
+/// bfs-wl: worklist level-synchronous BFS; a non-null transposed view \p GT
+/// plus Cfg.Dir != Push engages the direction-optimizing driver.
 template <typename BK, typename VT>
 std::vector<std::int32_t> bfsWl(const VT &G, const KernelConfig &Cfg,
                                 NodeId Source, const VT *GT = nullptr) {
   if (Cfg.Dir != Direction::Push && GT && G.numNodes() != 0)
     return bfs_detail::bfsDirection<BK>(G, *GT, Cfg, Source,
                                         /*FiberLevelCc=*/false);
-  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
-                                 InfDist);
-  if (G.numNodes() == 0)
-    return Dist;
-  Dist[static_cast<std::size_t>(Source)] = 0;
-
-  WorklistPair WL(static_cast<std::size_t>(G.numNodes()) + 64);
-  WL.in().pushSerial(Source);
-  auto Locals = makeTaskLocals(Cfg);
-  auto Sched = makeLoopScheduler(Cfg, G.numNodes() + 64);
-  PrefetchPlan PF = bfs_detail::bfsPlan(Cfg, Dist.data());
-  std::int32_t Level = 0;
-
-  runPipe(
-      Cfg,
-      TaskFn([&](int TaskIdx, int TaskCount) {
-        bfs_detail::bfsSparseRound<BK>(Cfg, *Sched, G, Dist.data(), Level + 1,
-                                   WL.in(), WL.out(), *Locals[TaskIdx],
-                                   TaskIdx, TaskCount,
-                                   /*FiberLevelCc=*/false, PF);
-      }),
-      [&] {
-        WL.swap();
-        ++Level;
-        return !WL.in().empty();
-      });
-  return Dist;
+  return bfs_detail::bfsWorklist<BK>(G, Cfg, Source, /*FiberLevelCc=*/false,
+                                     /*LocalCapacity=*/8192);
 }
 
 /// bfs-cx: worklist BFS with fiber-level Cooperative Conversion (one atomic
-/// push reservation per task per round when Fibers are enabled).
+/// push reservation per task per round when Fibers are enabled); the local
+/// buffers hold a task's worst-case share of new frontier nodes.
 template <typename BK, typename VT>
 std::vector<std::int32_t> bfsCx(const VT &G, const KernelConfig &Cfg,
                                 NodeId Source) {
-  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
-                                 InfDist);
-  if (G.numNodes() == 0)
-    return Dist;
-  Dist[static_cast<std::size_t>(Source)] = 0;
-
-  WorklistPair WL(static_cast<std::size_t>(G.numNodes()) + 64);
-  WL.in().pushSerial(Source);
-  // Fiber-local aggregation buffers must hold a task's worst-case round
-  // output: its share of new frontier nodes.
-  auto Locals = makeTaskLocals(
-      Cfg, static_cast<std::size_t>(G.numNodes()) / Cfg.NumTasks + 4096);
-  auto Sched = makeLoopScheduler(Cfg, G.numNodes() + 64);
-  PrefetchPlan PF = bfs_detail::bfsPlan(Cfg, Dist.data());
-  std::int32_t Level = 0;
-
-  runPipe(
-      Cfg,
-      TaskFn([&](int TaskIdx, int TaskCount) {
-        bfs_detail::bfsSparseRound<BK>(Cfg, *Sched, G, Dist.data(), Level + 1,
-                                   WL.in(), WL.out(), *Locals[TaskIdx],
-                                   TaskIdx, TaskCount,
-                                   /*FiberLevelCc=*/true, PF);
-      }),
-      [&] {
-        WL.swap();
-        ++Level;
-        return !WL.in().empty();
-      });
-  return Dist;
+  return bfs_detail::bfsWorklist<BK>(
+      G, Cfg, Source, /*FiberLevelCc=*/true,
+      static_cast<std::size_t>(G.numNodes()) / Cfg.NumTasks + 4096);
 }
 
 /// bfs-tp: topology-driven BFS (rescans all nodes every level).
 template <typename BK, typename VT>
 std::vector<std::int32_t> bfsTp(const VT &G, const KernelConfig &Cfg,
                                 NodeId Source) {
-  using namespace simd;
-  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
-                                 InfDist);
+  std::vector<std::int32_t> Dist = bfs_detail::initDist(G.numNodes(), Source);
   if (G.numNodes() == 0)
     return Dist;
-  Dist[static_cast<std::size_t>(Source)] = 0;
-
-  auto Locals = makeTaskLocals(Cfg);
-  auto Sched = makeLoopScheduler(Cfg, G.numNodes());
-  // Topology-driven rounds also gather Dist[Node] for the level filter, so
-  // the distance array is hot through both index shapes.
-  PrefetchPlan PF = bfs_detail::bfsPlan(Cfg, Dist.data());
-  PF.addProp(Dist.data(), static_cast<int>(sizeof(std::int32_t)),
-             PrefetchIndexKind::Node);
+  engine::Run<VT> R(Cfg, G, G.numNodes(),
+                    bfs_detail::bfsPlan(Cfg, Dist.data(), /*Dense=*/true));
   std::int32_t Level = 0;
   std::int32_t Expanded = 0; // relaxations performed in the last round
 
   runPipe(
       Cfg,
       TaskFn([&](int TaskIdx, int TaskCount) {
-        TaskLocal &TL = *Locals[TaskIdx];
-        TL.armPrefetch(PF);
-        std::int32_t LocalWins = 0;
-        VInt<BK> Cur = splat<BK>(Level);
-        VInt<BK> Next = splat<BK>(Level + 1);
-        auto OnEdge = [&](VInt<BK>, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
-          VMask<BK> Won =
-              updateMinVector<BK>(Cfg.Update, Dist.data(), Dst, Next, EAct);
-          LocalWins += popcount(Won);
-        };
-        forEachNodeSlice<BK>(
-            G, *Sched, TaskIdx, TaskCount, PF, TL.Pf,
-            [&](VInt<BK> Node, VMask<BK> Act, std::int64_t Slot) {
-              // Relaxed gather: other tasks CAS Level+1 into Dist during
-              // this same scan, and the == Cur test must not be a data race.
-              VMask<BK> OnLevel =
-                  Act & (gatherRelaxed<BK>(Dist.data(), Node, Act) == Cur);
-              if (any(OnLevel))
-                visitEdges<BK>(Cfg, G, Node, OnLevel, TL.Np, OnEdge, Slot);
-            });
-        flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
-        if (LocalWins)
-          atomicAddGlobal(&Expanded, LocalWins);
+        auto E = R.ctx(TaskIdx, TaskCount);
+        std::int32_t Wins = bfs_detail::bfsDenseRound<BK>(
+            E, Dist.data(), Level, /*Out=*/nullptr, /*Local=*/nullptr);
+        if (Wins)
+          simd::atomicAddGlobal(&Expanded, Wins);
       }),
       [&] {
         ++Level;
@@ -348,9 +252,8 @@ std::vector<std::int32_t> bfsTp(const VT &G, const KernelConfig &Cfg,
 
 /// bfs-hb: hybrid BFS; dense rounds when the frontier exceeds 1/HybridDenom
 /// of the nodes, sparse rounds otherwise. With Cfg.Dir != Push and a
-/// transposed view \p GT, the dense rounds become pull rounds over the
-/// bitmap frontier (the direction-optimizing driver) instead of dense push
-/// rescans.
+/// transposed view \p GT, dense rounds become pull rounds over the bitmap
+/// frontier (the direction-optimizing driver) instead of push rescans.
 template <typename BK, typename VT>
 std::vector<std::int32_t> bfsHb(const VT &G, const KernelConfig &Cfg,
                                 NodeId Source, const VT *GT = nullptr) {
@@ -358,60 +261,31 @@ std::vector<std::int32_t> bfsHb(const VT &G, const KernelConfig &Cfg,
     return bfs_detail::bfsDirection<BK>(G, *GT, Cfg, Source,
                                         /*FiberLevelCc=*/true);
   int HybridDenom = Cfg.HybridDenominator;
-  using namespace simd;
-  std::vector<std::int32_t> Dist(static_cast<std::size_t>(G.numNodes()),
-                                 InfDist);
+  std::vector<std::int32_t> Dist = bfs_detail::initDist(G.numNodes(), Source);
   if (G.numNodes() == 0)
     return Dist;
-  Dist[static_cast<std::size_t>(Source)] = 0;
-
   WorklistPair WL(static_cast<std::size_t>(G.numNodes()) + 64);
   WL.in().pushSerial(Source);
-  auto Locals = makeTaskLocals(
-      Cfg, static_cast<std::size_t>(G.numNodes()) / Cfg.NumTasks + 4096);
-  auto Sched = makeLoopScheduler(Cfg, G.numNodes() + 64);
-  PrefetchPlan PF = bfs_detail::bfsPlan(Cfg, Dist.data());
-  PF.addProp(Dist.data(), static_cast<int>(sizeof(std::int32_t)),
-             PrefetchIndexKind::Node);
+  engine::Run<VT> R(Cfg, G, G.numNodes() + 64,
+                    bfs_detail::bfsPlan(Cfg, Dist.data(), /*Dense=*/true),
+                    static_cast<std::size_t>(G.numNodes()) / Cfg.NumTasks +
+                        4096);
   std::int32_t Level = 0;
   bool Dense = false;
 
   runPipe(
       Cfg,
       TaskFn([&](int TaskIdx, int TaskCount) {
-        TaskLocal &TL = *Locals[TaskIdx];
+        auto E = R.ctx(TaskIdx, TaskCount);
         if (!Dense) {
-          bfs_detail::bfsSparseRound<BK>(Cfg, *Sched, G, Dist.data(),
-                                     Level + 1, WL.in(), WL.out(), TL,
-                                     TaskIdx, TaskCount,
-                                     /*FiberLevelCc=*/true, PF);
+          bfs_detail::bfsSparseRound<BK>(E, Dist.data(), Level + 1, WL.in(),
+                                         WL.out(), /*FiberLevelCc=*/true);
           return;
         }
-        // Dense round: expand every node on the current level; the next
-        // frontier is still materialized so a later sparse round can run.
-        TL.armPrefetch(PF);
-        LocalPushBuffer *Local = Cfg.Fibers ? &TL.Local : nullptr;
-        VInt<BK> Cur = splat<BK>(Level);
-        VInt<BK> Next = splat<BK>(Level + 1);
-        auto OnEdge = [&](VInt<BK>, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
-          VMask<BK> Won =
-              updateMinVector<BK>(Cfg.Update, Dist.data(), Dst, Next, EAct);
-          if (any(Won))
-            pushFrontier<BK>(Cfg, WL.out(), Local, Dst, Won);
-        };
-        forEachNodeSlice<BK>(
-            G, *Sched, TaskIdx, TaskCount, PF, TL.Pf,
-            [&](VInt<BK> Node, VMask<BK> Act, std::int64_t Slot) {
-              // Relaxed gather: other tasks CAS Level+1 into Dist during
-              // this same scan, and the == Cur test must not be a data race.
-              VMask<BK> OnLevel =
-                  Act & (gatherRelaxed<BK>(Dist.data(), Node, Act) == Cur);
-              if (any(OnLevel))
-                visitEdges<BK>(Cfg, G, Node, OnLevel, TL.Np, OnEdge, Slot);
-            });
-        flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
-        if (Local)
-          Local->flush(WL.out());
+        // Dense round: the next frontier is still materialized so a later
+        // sparse round can run.
+        bfs_detail::bfsDenseRound<BK>(E, Dist.data(), Level, &WL.out(),
+                                      Cfg.Fibers ? &E.TL.Local : nullptr);
       }),
       [&] {
         WL.swap();

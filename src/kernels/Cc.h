@@ -16,7 +16,8 @@
 #ifndef EGACS_KERNELS_CC_H
 #define EGACS_KERNELS_CC_H
 
-#include "kernels/KernelUtil.h"
+#include "engine/Engine.h"
+#include "kernels/Kernels.h"
 
 #include <numeric>
 #include <vector>
@@ -25,17 +26,46 @@ namespace egacs {
 
 namespace cc_detail {
 
+/// One sparse (worklist) label-propagation round for one task: propagates
+/// the labels of In's slice and pushes improved destinations into Out.
+template <typename BK, typename VT>
+void ccSparseRound(engine::Ctx<VT> &E, std::int32_t *Comp,
+                   const Worklist &In, Worklist &Out) {
+  using namespace simd;
+  engine::edgeMapSparse<BK>(
+      E, In, [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
+        // Relaxed gather: source labels are concurrently hooked by other
+        // tasks' CAS-min writes within the round.
+        VInt<BK> Label = gatherRelaxed<BK>(Comp, Src, EAct);
+        // Label hooking through the update engine: non-Atomic policies
+        // pre-reduce same-destination lanes so each distinct destination
+        // costs one CAS chain (and is pushed at most once per vector).
+        VMask<BK> Won =
+            updateMinVector<BK>(E.Cfg.Update, Comp, Dst, Label, EAct);
+        if (any(Won))
+          pushFrontier<BK>(E.Cfg, Out, nullptr, Dst, Won);
+      });
+}
+
+/// The prefetch plan shared by both paths: labels are gathered by source
+/// and min-scattered by destination, so the component array is registered
+/// through both index shapes.
+inline PrefetchPlan ccPlan(const KernelConfig &Cfg,
+                           const std::int32_t *Comp) {
+  PrefetchPlan PF = kernelPrefetchPlan(Cfg);
+  planProp(PF, Comp, PrefetchIndexKind::Node);
+  planProp(PF, Comp, PrefetchIndexKind::Dst);
+  return PF;
+}
+
 /// Direction-optimizing label propagation (Cfg.Dir is Pull or Hybrid).
 /// Pull rounds scan every destination over the transposed view \p GT and
-/// take the min label over its *in-frontier* in-neighbors — the frontier
-/// bitmap filters which labels are worth gathering, and the one CAS-min per
-/// improving destination replaces the per-edge CAS storm of the push
-/// rounds. There is no early exit (a min needs every frontier in-neighbor),
-/// so pull pays a full in-edge sweep per round; Hybrid therefore drops back
-/// to sparse push rounds once the changed-label set is small
-/// (numNodes/BetaDenom) and returns to pull when the frontier's out-edges
-/// exceed numEdges/AlphaNum. The first round starts pull from an all-set
-/// bitmap: initially every label "changed".
+/// take the min label over its *in-frontier* in-neighbors: one CAS-min per
+/// improving destination instead of the push rounds' per-edge CAS storm,
+/// with no early exit (a min needs every frontier in-neighbor). The driver's
+/// alpha/beta tests run against the full edge count — labels revisit edges,
+/// so there is no "unexplored" budget to decrement — and the first round
+/// starts pull from an all-set bitmap: initially every label "changed".
 template <typename BK, typename VT>
 std::vector<std::int32_t> ccDirection(const VT &G, const VT &GT,
                                       const KernelConfig &Cfg) {
@@ -47,138 +77,49 @@ std::vector<std::int32_t> ccDirection(const VT &G, const VT &GT,
                          static_cast<std::size_t>(G.numNodes())) +
                     64;
   WorklistPair WL(Cap);
-  auto Locals = makeTaskLocals(Cfg);
-  auto Sched = makeLoopScheduler(Cfg, static_cast<std::int64_t>(Cap));
-  PrefetchPlan PF = kernelPrefetchPlan(Cfg);
-  PF.addProp(Comp.data(), static_cast<int>(sizeof(std::int32_t)),
-             PrefetchIndexKind::Node);
-  PF.addProp(Comp.data(), static_cast<int>(sizeof(std::int32_t)),
-             PrefetchIndexKind::Dst);
+  engine::Run<VT> R(Cfg, G, static_cast<std::int64_t>(Cap),
+                    ccPlan(Cfg, Comp.data()));
 
-  BitmapFrontier BmpA(G.numNodes(), Cfg.NumTasks);
-  BitmapFrontier BmpB(G.numNodes(), Cfg.NumTasks);
-  BitmapFrontier *CurB = &BmpA, *NextB = &BmpB;
-  CurB->setAllSerial();
-  DirRoundMode Mode = DirRoundMode::Pull;
-  const int Alpha = Cfg.AlphaNum > 0 ? Cfg.AlphaNum : 15;
-  const int Beta = Cfg.BetaDenom > 0 ? Cfg.BetaDenom : 18;
-
-  TaskFn Prepare = [&](int TaskIdx, int TaskCount) {
-    switch (Mode) {
-    case DirRoundMode::Push:
-      return;
-    case DirRoundMode::PullEnter:
-      CurB->clearSlice(TaskIdx, TaskCount);
-      NextB->clearSlice(TaskIdx, TaskCount);
-      return;
-    case DirRoundMode::Pull:
-      NextB->clearSlice(TaskIdx, TaskCount);
-      return;
-    case DirRoundMode::PushEnter:
-      CurB->countSlice(TaskIdx, TaskCount);
-      return;
-    }
-  };
-  TaskFn Convert = [&](int TaskIdx, int TaskCount) {
-    if (Mode == DirRoundMode::PullEnter)
-      CurB->fromWorklistSlice<BK>(WL.in(), TaskIdx, TaskCount);
-    else if (Mode == DirRoundMode::PushEnter)
-      CurB->toWorklistSlice<BK>(WL.in(), TaskIdx, TaskCount);
-  };
-  TaskFn Main = [&](int TaskIdx, int TaskCount) {
-    if (!dirModeIsPull(Mode)) {
-      TaskLocal &TL = *Locals[TaskIdx];
-      TL.armPrefetch(PF);
-      auto OnEdge = [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>,
-                        VMask<BK> EAct) {
-        // Relaxed gather: source labels are concurrently hooked by other
-        // tasks' CAS-min writes within the round.
-        VInt<BK> Label = gatherRelaxed<BK>(Comp.data(), Src, EAct);
-        VMask<BK> Won =
-            updateMinVector<BK>(Cfg.Update, Comp.data(), Dst, Label, EAct);
-        if (any(Won))
-          pushFrontier<BK>(Cfg, WL.out(), nullptr, Dst, Won);
-      };
-      forEachWorklistSlice<BK>(Cfg, G, *Sched, WL.in().items(),
-                               WL.in().size(), TaskIdx, TaskCount, PF, TL.Pf,
-                               [&](VInt<BK> Node, VMask<BK> Act) {
-                                 visitEdges<BK>(Cfg, G, Node, Act, TL.Np,
-                                                OnEdge);
-                               });
-      flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
-      return;
-    }
-    std::int64_t Scanned = 0, Fresh = 0;
-    forEachNodeSlice<BK>(
-        GT, *Sched, TaskIdx, TaskCount,
-        [&](VInt<BK> Node, VMask<BK> Act, std::int64_t Slot) {
-          VInt<BK> Best = splat<BK>(0x7fffffff);
-          VMask<BK> AnyHit = maskNone<BK>();
-          pullForEachEdge<BK>(
-              GT, Node, Act,
-              [&](VInt<BK>, VInt<BK> Src, VInt<BK>, VMask<BK> Live) {
-                Scanned += popcount(Live);
-                VMask<BK> Hit = CurB->testVector<BK>(Src, Live);
-                if (any(Hit)) {
-                  // Relaxed: sources may be CAS-hooked by other lanes'
-                  // destination writes within this pull round.
-                  VInt<BK> L = gatherRelaxed<BK>(Comp.data(), Src, Hit);
-                  Best = select<BK>(Hit, vmin<BK>(Best, L), Best);
-                  AnyHit = AnyHit | Hit;
-                }
-                return Live;
-              },
-              Slot);
-          if (any(AnyHit)) {
-            VMask<BK> Won =
-                atomicMinVector<BK>(Comp.data(), Node, Best, AnyHit);
-            Fresh += NextB->setVector<BK>(Node, Won);
-          }
-        });
-    NextB->addCount(TaskIdx, Fresh);
-    EGACS_STAT_ADD(PullEdgesScanned, static_cast<std::uint64_t>(Scanned));
-  };
-
-  runPipe(Cfg, std::vector<TaskFn>{Prepare, Convert, Main}, [&] {
-    bool WasPull = dirModeIsPull(Mode);
-    std::int64_t FrontierSize;
-    if (WasPull) {
-      std::swap(CurB, NextB);
-      FrontierSize = CurB->totalCount();
-    } else {
-      WL.swap();
-      FrontierSize = WL.in().size();
-    }
-    if (FrontierSize == 0)
-      return false;
-    if (Cfg.Dir == Direction::Pull) {
-      Mode = DirRoundMode::Pull;
-      return true;
-    }
-    if (WasPull) {
-      if (FrontierSize < G.numNodes() / Beta) {
-        WL.in().clear();
-        WL.out().clear();
-        Mode = DirRoundMode::PushEnter;
-        EGACS_STAT_ADD(DirectionSwitches, 1);
-        EGACS_STAT_ADD(FrontierConversions, 1);
-      } else {
-        Mode = DirRoundMode::Pull;
-      }
-    } else {
-      // The push worklist may hold duplicates (one push per label win), so
-      // the scout count can overcount; it is only a switching heuristic.
-      std::int64_t Scout = frontierEdges(G, WL.in());
-      if (Scout > static_cast<std::int64_t>(G.numEdges()) / Alpha) {
-        Mode = DirRoundMode::PullEnter;
-        EGACS_STAT_ADD(DirectionSwitches, 1);
-        EGACS_STAT_ADD(FrontierConversions, 1);
-      } else {
-        Mode = DirRoundMode::Push;
-      }
-    }
-    return true;
-  });
+  engine::frontierDriver<BK>(
+      Cfg, G, WL, DirRoundMode::Pull, /*StartAllSet=*/true,
+      /*ScoutDecrements=*/false,
+      [&](int TaskIdx, int TaskCount) {
+        auto E = R.ctx(TaskIdx, TaskCount);
+        ccSparseRound<BK>(E, Comp.data(), WL.in(), WL.out());
+      },
+      [&](BitmapFrontier &CurB, BitmapFrontier &NextB, int TaskIdx,
+          int TaskCount) {
+        auto E = R.ctx(GT, TaskIdx, TaskCount);
+        std::int64_t Scanned = 0, Fresh = 0;
+        engine::vertexMapDense<BK>(
+            E, [&](VInt<BK> Node, VMask<BK> Act, std::int64_t Slot) {
+              VInt<BK> Best = splat<BK>(0x7fffffff);
+              VMask<BK> AnyHit = maskNone<BK>();
+              engine::edgeMapPull<BK>(
+                  GT, Node, Act,
+                  [&](VInt<BK>, VInt<BK> Src, VInt<BK>, VMask<BK> Live) {
+                    Scanned += popcount(Live);
+                    VMask<BK> Hit = CurB.testVector<BK>(Src, Live);
+                    if (any(Hit)) {
+                      // Relaxed: sources may be CAS-hooked by other lanes'
+                      // destination writes within this pull round.
+                      VInt<BK> L = gatherRelaxed<BK>(Comp.data(), Src, Hit);
+                      Best = select<BK>(Hit, vmin<BK>(Best, L), Best);
+                      AnyHit = AnyHit | Hit;
+                    }
+                    return Live;
+                  },
+                  Slot);
+              if (any(AnyHit)) {
+                VMask<BK> Won =
+                    atomicMinVector<BK>(Comp.data(), Node, Best, AnyHit);
+                Fresh += NextB.setVector<BK>(Node, Won);
+              }
+            });
+        NextB.addCount(TaskIdx, Fresh);
+        EGACS_STAT_ADD(PullEdgesScanned, static_cast<std::uint64_t>(Scanned));
+      },
+      [] {});
   return Comp;
 }
 
@@ -207,41 +148,14 @@ std::vector<std::int32_t> connectedComponents(const VT &G,
   WorklistPair WL(Cap);
   for (NodeId N = 0; N < G.numNodes(); ++N)
     WL.in().pushSerial(N);
-  auto Locals = makeTaskLocals(Cfg);
-  auto Sched = makeLoopScheduler(Cfg, static_cast<std::int64_t>(Cap));
-  // Labels are gathered by source and min-scattered by destination, so the
-  // component array is registered through both index shapes.
-  PrefetchPlan PF = kernelPrefetchPlan(Cfg);
-  PF.addProp(Comp.data(), static_cast<int>(sizeof(std::int32_t)),
-             PrefetchIndexKind::Node);
-  PF.addProp(Comp.data(), static_cast<int>(sizeof(std::int32_t)),
-             PrefetchIndexKind::Dst);
+  engine::Run<VT> R(Cfg, G, static_cast<std::int64_t>(Cap),
+                    cc_detail::ccPlan(Cfg, Comp.data()));
 
   runPipe(
       Cfg,
       TaskFn([&](int TaskIdx, int TaskCount) {
-        TaskLocal &TL = *Locals[TaskIdx];
-        TL.armPrefetch(PF);
-        auto OnEdge = [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>,
-                          VMask<BK> EAct) {
-          // Relaxed gather: source labels are concurrently hooked by other
-          // tasks' CAS-min writes within the round.
-          VInt<BK> Label = gatherRelaxed<BK>(Comp.data(), Src, EAct);
-          // Label hooking through the update engine: non-Atomic policies
-          // pre-reduce same-destination lanes so each distinct destination
-          // costs one CAS chain (and is pushed at most once per vector).
-          VMask<BK> Won =
-              updateMinVector<BK>(Cfg.Update, Comp.data(), Dst, Label, EAct);
-          if (any(Won))
-            pushFrontier<BK>(Cfg, WL.out(), nullptr, Dst, Won);
-        };
-        forEachWorklistSlice<BK>(Cfg, G, *Sched, WL.in().items(),
-                                 WL.in().size(), TaskIdx, TaskCount, PF, TL.Pf,
-                                 [&](VInt<BK> Node, VMask<BK> Act) {
-                                   visitEdges<BK>(Cfg, G, Node, Act, TL.Np,
-                                                  OnEdge);
-                                 });
-        flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
+        auto E = R.ctx(TaskIdx, TaskCount);
+        cc_detail::ccSparseRound<BK>(E, Comp.data(), WL.in(), WL.out());
       }),
       [&] {
         WL.swap();

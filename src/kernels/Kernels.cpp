@@ -8,7 +8,8 @@
 #include "kernels/Kernels.h"
 
 #include "kernels/Reference.h"
-#include "kernels/RunKernelImpl.h"
+#include "support/ParseEnum.h"
+#include "engine/KernelTable.h"
 
 #include <cassert>
 #include <cmath>
@@ -37,10 +38,7 @@ Direction egacs::parseDirection(const std::string &Name) {
     return Direction::Pull;
   if (Name == "hybrid")
     return Direction::Hybrid;
-  std::fprintf(stderr,
-               "error: unknown direction '%s' (expected push|pull|hybrid)\n",
-               Name.c_str());
-  std::exit(2);
+  parseEnumFail("direction", Name, "push|pull|hybrid");
 }
 
 const char *egacs::kernelName(KernelKind Kind) {
@@ -74,8 +72,13 @@ KernelKind egacs::parseKernelKind(const std::string &Name) {
   for (KernelKind Kind : AllKernels)
     if (Name == kernelName(Kind))
       return Kind;
-  assert(false && "unknown kernel name");
-  return KernelKind::BfsWl;
+  std::string Valid;
+  for (KernelKind Kind : AllKernels) {
+    if (!Valid.empty())
+      Valid += '|';
+    Valid += kernelName(Kind);
+  }
+  parseEnumFail("kernel", Name, Valid);
 }
 
 bool egacs::kernelNeedsWeights(KernelKind Kind) {

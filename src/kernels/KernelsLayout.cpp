@@ -14,7 +14,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "kernels/RunKernelImpl.h"
+#include "engine/KernelTable.h"
 
 using namespace egacs;
 

@@ -7,25 +7,21 @@
 ///
 /// \file
 /// Luby-style maximal independent set with deterministic hashed priorities.
-/// Each round has four edge-local phases (edge-locality keeps the phases
-/// valid under the Nested Parallelism edge redistribution):
-///
-///   1. every undecided node becomes a candidate;
-///   2. for every edge between two candidates, the lower-(priority, id)
-///      endpoint is demoted back to undecided;
-///   3. surviving candidates join the set;
-///   4. undecided neighbours of new members become excluded, and the
-///      worklist is rebuilt from the remaining undecided nodes.
-///
-/// The (priority, id) order is total, so the maximum undecided node of any
-/// component always survives — termination is deterministic.
+/// Each round runs four edge-local phases (valid under the Nested
+/// Parallelism edge redistribution): mark every undecided node candidate;
+/// demote the lower-(priority, id) endpoint of each candidate-candidate
+/// edge; promote survivors into the set; exclude undecided neighbours of
+/// new members and rebuild the worklist. The (priority, id) order is total,
+/// so the maximum undecided node of any component always survives —
+/// termination is deterministic.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef EGACS_KERNELS_MIS_H
 #define EGACS_KERNELS_MIS_H
 
-#include "kernels/KernelUtil.h"
+#include "engine/Engine.h"
+#include "kernels/Kernels.h"
 #include "support/Rng.h"
 
 #include <vector>
@@ -66,19 +62,14 @@ std::vector<std::int32_t> maximalIndependentSet(const VT &G,
   for (NodeId I = 0; I < N; ++I)
     if (State[static_cast<std::size_t>(I)] == MisUndecided)
       WL.in().pushSerial(I);
-  auto Locals = makeTaskLocals(Cfg);
-  auto Sched = makeLoopScheduler(Cfg, static_cast<std::int64_t>(Cap));
   // The edge phases gather State and Prio through both endpoints (src via
   // the worklist order, dst via the neighbor gather).
   PrefetchPlan PF = kernelPrefetchPlan(Cfg);
-  PF.addProp(State.data(), static_cast<int>(sizeof(std::int32_t)),
-             PrefetchIndexKind::Node);
-  PF.addProp(State.data(), static_cast<int>(sizeof(std::int32_t)),
-             PrefetchIndexKind::Dst);
-  PF.addProp(Prio.data(), static_cast<int>(sizeof(std::int32_t)),
-             PrefetchIndexKind::Node);
-  PF.addProp(Prio.data(), static_cast<int>(sizeof(std::int32_t)),
-             PrefetchIndexKind::Dst);
+  planProp(PF, State.data(), PrefetchIndexKind::Node);
+  planProp(PF, State.data(), PrefetchIndexKind::Dst);
+  planProp(PF, Prio.data(), PrefetchIndexKind::Node);
+  planProp(PF, Prio.data(), PrefetchIndexKind::Dst);
+  engine::Run<VT> R(Cfg, G, static_cast<std::int64_t>(Cap), std::move(PF));
 
   // Beats = true where (PrioA, IdA) > (PrioB, IdB).
   auto Beats = [&](VInt<BK> PrioA, VInt<BK> IdA, VInt<BK> PrioB,
@@ -87,45 +78,42 @@ std::vector<std::int32_t> maximalIndependentSet(const VT &G,
   };
 
   TaskFn MarkCandidates = [&](int TaskIdx, int TaskCount) {
-    forEachWorklistSlice<BK>(
-        Cfg, *Sched, WL.in().items(), WL.in().size(), TaskIdx, TaskCount,
-        [&](VInt<BK> Node, VMask<BK> Act) {
+    auto E = R.ctx(TaskIdx, TaskCount);
+    engine::vertexMapSparse<BK>(
+        E, WL.in(), [&](VInt<BK> Node, VMask<BK> Act) {
           scatter<BK>(State.data(), Node, splat<BK>(MisCandidate), Act);
         });
   };
 
   TaskFn DemoteLosers = [&](int TaskIdx, int TaskCount) {
-    TaskLocal &TL = *Locals[TaskIdx];
-    TL.armPrefetch(PF);
-    auto OnEdge = [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
-      VInt<BK> SrcState = gather<BK>(State.data(), Src, EAct);
-      VInt<BK> DstState = gather<BK>(State.data(), Dst, EAct);
-      VMask<BK> BothCand = EAct & (SrcState == splat<BK>(MisCandidate)) &
-                           (DstState == splat<BK>(MisCandidate));
-      if (!any(BothCand))
-        return;
-      VInt<BK> SrcPrio = gather<BK>(Prio.data(), Src, BothCand);
-      VInt<BK> DstPrio = gather<BK>(Prio.data(), Dst, BothCand);
-      VMask<BK> SrcWins = Beats(SrcPrio, Src, DstPrio, Dst);
-      // Demote the loser endpoint of each candidate-candidate edge.
-      scatter<BK>(State.data(), Dst, splat<BK>(MisUndecided),
-                  BothCand & SrcWins);
-      scatter<BK>(State.data(), Src, splat<BK>(MisUndecided),
-                  andNot(BothCand, SrcWins));
-    };
-    forEachWorklistSlice<BK>(Cfg, G, *Sched, WL.in().items(), WL.in().size(),
-                             TaskIdx, TaskCount, PF, TL.Pf,
-                             [&](VInt<BK> Node, VMask<BK> Act) {
-                               visitEdges<BK>(Cfg, G, Node, Act, TL.Np,
-                                              OnEdge);
-                             });
-    flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
+    auto E = R.ctx(TaskIdx, TaskCount);
+    engine::edgeMapSparse<BK>(
+        E, WL.in(),
+        [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
+          // State is demoted concurrently by other tasks within this phase;
+          // relaxed-atomic lane accesses keep the racy-by-design stores
+          // race-free under the C++ memory model (op-counted identically).
+          VInt<BK> SrcState = gatherRelaxed<BK>(State.data(), Src, EAct);
+          VInt<BK> DstState = gatherRelaxed<BK>(State.data(), Dst, EAct);
+          VMask<BK> BothCand = EAct & (SrcState == splat<BK>(MisCandidate)) &
+                               (DstState == splat<BK>(MisCandidate));
+          if (!any(BothCand))
+            return;
+          VInt<BK> SrcPrio = gather<BK>(Prio.data(), Src, BothCand);
+          VInt<BK> DstPrio = gather<BK>(Prio.data(), Dst, BothCand);
+          VMask<BK> SrcWins = Beats(SrcPrio, Src, DstPrio, Dst);
+          // Demote the loser endpoint of each candidate-candidate edge.
+          scatterRelaxed<BK>(State.data(), Dst, splat<BK>(MisUndecided),
+                             BothCand & SrcWins);
+          scatterRelaxed<BK>(State.data(), Src, splat<BK>(MisUndecided),
+                             andNot(BothCand, SrcWins));
+        });
   };
 
   TaskFn PromoteSurvivors = [&](int TaskIdx, int TaskCount) {
-    forEachWorklistSlice<BK>(
-        Cfg, *Sched, WL.in().items(), WL.in().size(), TaskIdx, TaskCount,
-        [&](VInt<BK> Node, VMask<BK> Act) {
+    auto E = R.ctx(TaskIdx, TaskCount);
+    engine::vertexMapSparse<BK>(
+        E, WL.in(), [&](VInt<BK> Node, VMask<BK> Act) {
           VInt<BK> S = gather<BK>(State.data(), Node, Act);
           scatter<BK>(State.data(), Node, splat<BK>(MisIn),
                       Act & (S == splat<BK>(MisCandidate)));
@@ -133,29 +121,23 @@ std::vector<std::int32_t> maximalIndependentSet(const VT &G,
   };
 
   TaskFn ExcludeAndRebuild = [&](int TaskIdx, int TaskCount) {
-    TaskLocal &TL = *Locals[TaskIdx];
-    TL.armPrefetch(PF);
+    auto E = R.ctx(TaskIdx, TaskCount);
     // Exclude neighbours of new members (edge-local, idempotent stores).
-    auto OnEdge = [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
-      VInt<BK> SrcState = gather<BK>(State.data(), Src, EAct);
-      VInt<BK> DstState = gather<BK>(State.data(), Dst, EAct);
-      VMask<BK> Exclude = EAct & (SrcState == splat<BK>(MisUndecided)) &
-                          (DstState == splat<BK>(MisIn));
-      scatter<BK>(State.data(), Src, splat<BK>(MisOut), Exclude);
-    };
-    forEachWorklistSlice<BK>(Cfg, G, *Sched, WL.in().items(), WL.in().size(),
-                             TaskIdx, TaskCount, PF, TL.Pf,
-                             [&](VInt<BK> Node, VMask<BK> Act) {
-                               visitEdges<BK>(Cfg, G, Node, Act, TL.Np,
-                                              OnEdge);
-                             });
-    flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
+    engine::edgeMapSparse<BK>(
+        E, WL.in(),
+        [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
+          VInt<BK> SrcState = gatherRelaxed<BK>(State.data(), Src, EAct);
+          VInt<BK> DstState = gatherRelaxed<BK>(State.data(), Dst, EAct);
+          VMask<BK> Exclude = EAct & (SrcState == splat<BK>(MisUndecided)) &
+                              (DstState == splat<BK>(MisIn));
+          scatterRelaxed<BK>(State.data(), Src, splat<BK>(MisOut), Exclude);
+        });
   };
 
   TaskFn Rebuild = [&](int TaskIdx, int TaskCount) {
-    forEachWorklistSlice<BK>(
-        Cfg, *Sched, WL.in().items(), WL.in().size(), TaskIdx, TaskCount,
-        [&](VInt<BK> Node, VMask<BK> Act) {
+    auto E = R.ctx(TaskIdx, TaskCount);
+    engine::vertexMapSparse<BK>(
+        E, WL.in(), [&](VInt<BK> Node, VMask<BK> Act) {
           VInt<BK> S = gather<BK>(State.data(), Node, Act);
           VMask<BK> Still = Act & (S == splat<BK>(MisUndecided));
           if (any(Still))

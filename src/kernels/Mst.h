@@ -18,8 +18,8 @@
 #ifndef EGACS_KERNELS_MST_H
 #define EGACS_KERNELS_MST_H
 
-#include "kernels/KernelUtil.h"
-#include "kernels/Tri.h"
+#include "engine/Engine.h"
+#include "kernels/Kernels.h"
 
 #include <limits>
 #include <vector>
@@ -50,9 +50,8 @@ MstResult boruvkaMst(const VT &G, const KernelConfig &Cfg) {
   constexpr std::int64_t NoEdge = std::numeric_limits<std::int64_t>::max();
   std::vector<std::int64_t> Best(static_cast<std::size_t>(N), NoEdge);
 
-  auto Locals = makeTaskLocals(Cfg);
   std::int64_t MaxItems = G.numEdges() > N ? G.numEdges() : N;
-  auto Sched = makeLoopScheduler(Cfg, MaxItems);
+  engine::Run<VT> R(Cfg, G, MaxItems, kernelPrefetchPlan(Cfg));
   std::int32_t Hooked = 0; // components hooked in the current round
 
   // Vectorized find: chase parents until fixpoint (lists are compressed by
@@ -69,11 +68,11 @@ MstResult boruvkaMst(const VT &G, const KernelConfig &Cfg) {
   };
 
   TaskFn ResetBest = [&](int TaskIdx, int TaskCount) {
-    Sched->forRanges(N, TaskIdx, TaskCount,
-                     [&](std::int64_t RB, std::int64_t RE) {
-                       for (std::int64_t I = RB; I < RE; ++I)
-                         Best[static_cast<std::size_t>(I)] = NoEdge;
-                     });
+    auto E = R.ctx(TaskIdx, TaskCount);
+    engine::vertexMapRanges(E, N, [&](std::int64_t RB, std::int64_t RE) {
+      for (std::int64_t I = RB; I < RE; ++I)
+        Best[static_cast<std::size_t>(I)] = NoEdge;
+    });
   };
 
   // The min-edge sweep's latency sits in FindRoot's Parent gathers; the
@@ -82,14 +81,13 @@ MstResult boruvkaMst(const VT &G, const KernelConfig &Cfg) {
   // those lines Dist vectors ahead. Later hops are data-dependent and stay
   // demand-fetched. Parent is a (mutable) property array, so the stage runs
   // only under rows+props; it is prefetch-only — never read ahead of time.
-  PrefetchPlan PF = kernelPrefetchPlan(Cfg);
   const std::int64_t PfFar =
-      static_cast<std::int64_t>(PF.Dist > 0 ? PF.Dist : 0) * BK::Width;
+      static_cast<std::int64_t>(R.PF.Dist > 0 ? R.PF.Dist : 0) * BK::Width;
 
   // Each component's minimum outgoing edge via 64-bit atomic min.
   TaskFn FindMinEdges = [&](int TaskIdx, int TaskCount) {
     PrefetchCounters PfC;
-    const bool Staged = PF.active() && PF.wantProps();
+    const bool Staged = R.PF.active() && R.PF.wantProps();
     auto InspectParents = [&](std::int64_t P, std::int64_t RE) {
       using namespace prefetchdetail;
       std::int64_t Stop = P + BK::Width < RE ? P + BK::Width : RE;
@@ -98,102 +96,95 @@ MstResult boruvkaMst(const VT &G, const KernelConfig &Cfg) {
         pfLine<BK>(Parent.data() + G.edgeDst()[E], PfC);
       }
     };
-    Sched->forRanges(G.numEdges(), TaskIdx, TaskCount, [&](std::int64_t RB,
-                                                           std::int64_t RE) {
-    if (Staged)
-      for (std::int64_t P = RB; P < RB + PfFar && P < RE; P += BK::Width)
-        InspectParents(P, RE);
-    for (std::int64_t EBase = RB; EBase < RE; EBase += BK::Width) {
-      if (Staged && EBase + PfFar < RE)
-        InspectParents(EBase + PfFar, RE);
-      int Valid = static_cast<int>(
-          RE - EBase < BK::Width ? RE - EBase : BK::Width);
-      VMask<BK> Act = maskFirstN<BK>(Valid);
-      VInt<BK> U = maskedLoad<BK>(EdgeSrc.data() + EBase, Act);
-      VInt<BK> V = maskedLoad<BK>(G.edgeDst() + EBase, Act);
-      VInt<BK> Cu = FindRoot(U, Act);
-      VInt<BK> Cv = FindRoot(V, Act);
-      VMask<BK> Cross = Act & (Cu != Cv);
-      if (!any(Cross))
-        continue;
-      VInt<BK> W = maskedLoad<BK>(G.edgeWeight() + EBase, Cross);
-      std::uint64_t Bits = maskBits(Cross);
-      if (Cfg.Update == UpdatePolicy::Atomic) {
-        while (Bits) {
-          int L = __builtin_ctzll(Bits);
-          Bits &= Bits - 1;
-          std::int64_t Packed =
-              (static_cast<std::int64_t>(extract(W, L)) << 32) |
-              static_cast<std::int64_t>(EBase + L);
-          atomicMinGlobal64(&Best[static_cast<std::size_t>(extract(Cu, L))],
-                            Packed);
-          atomicMinGlobal64(&Best[static_cast<std::size_t>(extract(Cv, L))],
-                            Packed);
-        }
-      } else {
-        // Conflict-combined: within the vector, edges of the same
-        // component pre-reduce to their lightest packed key so each
-        // distinct component costs one 64-bit CAS chain per side. Hub
-        // components (most of a power-law graph's edges) combine heavily.
-        alignas(64) std::int32_t CuA[BK::Width], CvA[BK::Width];
-        std::int64_t PackedA[BK::Width];
-        BK::store(CuA, Cu.V);
-        BK::store(CvA, Cv.V);
-        std::uint64_t Tmp = Bits;
-        while (Tmp) {
-          int L = __builtin_ctzll(Tmp);
-          Tmp &= Tmp - 1;
-          PackedA[L] = (static_cast<std::int64_t>(extract(W, L)) << 32) |
-                       static_cast<std::int64_t>(EBase + L);
-        }
-        updateMin64Combined(Best.data(), CuA, PackedA, Bits);
-        updateMin64Combined(Best.data(), CvA, PackedA, Bits);
-      }
-    }
-    });
+    engine::edgeMapFlat<BK>(
+        *R.Sched, G.numEdges(), TaskIdx, TaskCount, Staged, PfFar,
+        InspectParents, 0, engine::NoInspect,
+        [&](std::int64_t EBase, VMask<BK> Act) {
+          VInt<BK> U = maskedLoad<BK>(EdgeSrc.data() + EBase, Act);
+          VInt<BK> V = maskedLoad<BK>(G.edgeDst() + EBase, Act);
+          VInt<BK> Cu = FindRoot(U, Act);
+          VInt<BK> Cv = FindRoot(V, Act);
+          VMask<BK> Cross = Act & (Cu != Cv);
+          if (!any(Cross))
+            return;
+          VInt<BK> W = maskedLoad<BK>(G.edgeWeight() + EBase, Cross);
+          std::uint64_t Bits = maskBits(Cross);
+          if (Cfg.Update == UpdatePolicy::Atomic) {
+            while (Bits) {
+              int L = __builtin_ctzll(Bits);
+              Bits &= Bits - 1;
+              std::int64_t Packed =
+                  (static_cast<std::int64_t>(extract(W, L)) << 32) |
+                  static_cast<std::int64_t>(EBase + L);
+              atomicMinGlobal64(
+                  &Best[static_cast<std::size_t>(extract(Cu, L))], Packed);
+              atomicMinGlobal64(
+                  &Best[static_cast<std::size_t>(extract(Cv, L))], Packed);
+            }
+          } else {
+            // Conflict-combined: same-component lanes pre-reduce to their
+            // lightest packed key, one 64-bit CAS chain per distinct
+            // component per side.
+            alignas(64) std::int32_t CuA[BK::Width], CvA[BK::Width];
+            std::int64_t PackedA[BK::Width];
+            BK::store(CuA, Cu.V);
+            BK::store(CvA, Cv.V);
+            std::uint64_t Tmp = Bits;
+            while (Tmp) {
+              int L = __builtin_ctzll(Tmp);
+              Tmp &= Tmp - 1;
+              PackedA[L] = (static_cast<std::int64_t>(extract(W, L)) << 32) |
+                           static_cast<std::int64_t>(EBase + L);
+            }
+            updateMin64Combined(Best.data(), CuA, PackedA, Bits);
+            updateMin64Combined(Best.data(), CvA, PackedA, Bits);
+          }
+        });
   };
 
   // Hook components along their best edges; the smaller root of a mutual
   // pick is the designated hooker, breaking the only possible cycle.
   TaskFn HookComponents = [&](int TaskIdx, int TaskCount) {
+    auto E = R.ctx(TaskIdx, TaskCount);
     std::int32_t LocalHooks = 0;
     std::int64_t LocalWeight = 0;
-    Sched->forRanges(N, TaskIdx, TaskCount, [&](std::int64_t RB,
-                                                std::int64_t RE) {
-    for (std::int64_t C = RB; C < RE; ++C) {
-      std::int64_t Packed = Best[static_cast<std::size_t>(C)];
-      if (Packed == NoEdge)
-        continue;
-      // Other tasks' hooks CAS Parent concurrently with these reads, so go
-      // through relaxed atomic loads (same x86 code, race-free semantics).
-      if (atomicLoadGlobal(&Parent[static_cast<std::size_t>(C)]) !=
-          static_cast<NodeId>(C))
-        continue; // no longer a root (stale entry)
-      EdgeId E = static_cast<EdgeId>(Packed & 0xffffffffll);
-      Weight W = static_cast<Weight>(Packed >> 32);
-      // Recompute the roots of the edge endpoints serially.
-      auto Root = [&](NodeId X) {
-        NodeId P;
-        while ((P = atomicLoadGlobal(&Parent[static_cast<std::size_t>(X)])) !=
-               X)
-          X = P;
-        return X;
-      };
-      NodeId Cu = Root(EdgeSrc[static_cast<std::size_t>(E)]);
-      NodeId Cv = Root(G.edgeDst()[static_cast<std::size_t>(E)]);
-      if (Cu == Cv)
-        continue;
-      NodeId Other = static_cast<NodeId>(C) == Cu ? Cv : Cu;
-      // Mutual pick: both roots chose this edge; only the smaller id hooks.
-      if (Best[static_cast<std::size_t>(Other)] == Packed &&
-          static_cast<NodeId>(C) > Other)
-        continue;
-      if (atomicCasGlobal(&Parent[static_cast<std::size_t>(C)],
-                          static_cast<NodeId>(C), Other)) {
-        ++LocalHooks;
-        LocalWeight += W;
+    engine::vertexMapRanges(E, N, [&](std::int64_t RB, std::int64_t RE) {
+      for (std::int64_t C = RB; C < RE; ++C) {
+        std::int64_t Packed = Best[static_cast<std::size_t>(C)];
+        if (Packed == NoEdge)
+          continue;
+        // Other tasks' hooks CAS Parent concurrently with these reads, so
+        // go through relaxed atomic loads (same x86 code, race-free
+        // semantics).
+        if (atomicLoadGlobal(&Parent[static_cast<std::size_t>(C)]) !=
+            static_cast<NodeId>(C))
+          continue; // no longer a root (stale entry)
+        EdgeId Ed = static_cast<EdgeId>(Packed & 0xffffffffll);
+        Weight W = static_cast<Weight>(Packed >> 32);
+        // Recompute the roots of the edge endpoints serially.
+        auto Root = [&](NodeId X) {
+          NodeId P;
+          while ((P = atomicLoadGlobal(
+                      &Parent[static_cast<std::size_t>(X)])) != X)
+            X = P;
+          return X;
+        };
+        NodeId Cu = Root(EdgeSrc[static_cast<std::size_t>(Ed)]);
+        NodeId Cv = Root(G.edgeDst()[static_cast<std::size_t>(Ed)]);
+        if (Cu == Cv)
+          continue;
+        NodeId Other = static_cast<NodeId>(C) == Cu ? Cv : Cu;
+        // Mutual pick: both roots chose this edge; only the smaller id
+        // hooks.
+        if (Best[static_cast<std::size_t>(Other)] == Packed &&
+            static_cast<NodeId>(C) > Other)
+          continue;
+        if (atomicCasGlobal(&Parent[static_cast<std::size_t>(C)],
+                            static_cast<NodeId>(C), Other)) {
+          ++LocalHooks;
+          LocalWeight += W;
+        }
       }
-    }
     });
     if (LocalHooks) {
       atomicAddGlobal(&Hooked, LocalHooks);
@@ -204,18 +195,22 @@ MstResult boruvkaMst(const VT &G, const KernelConfig &Cfg) {
 
   // Pointer jumping: halve every chain until all nodes point at roots.
   TaskFn Compress = [&](int TaskIdx, int TaskCount) {
-    forEachNodeSlice<BK>(G, *Sched, TaskIdx, TaskCount,
-                         [&](VInt<BK> Node, VMask<BK> Act, std::int64_t) {
-                           VMask<BK> Moving = Act;
-                           VInt<BK> X = Node;
-                           while (any(Moving)) {
-                             VInt<BK> P = gather<BK>(Parent.data(), X, Moving);
-                             VInt<BK> PP = gather<BK>(Parent.data(), P, Moving);
-                             scatter<BK>(Parent.data(), Node, PP, Moving);
-                             Moving = Moving & (P != PP);
-                             X = select<BK>(Moving, P, X);
-                           }
-                         });
+    auto E = R.ctx(TaskIdx, TaskCount);
+    engine::vertexMapDense<BK>(
+        E, [&](VInt<BK> Node, VMask<BK> Act, std::int64_t) {
+          VMask<BK> Moving = Act;
+          VInt<BK> X = Node;
+          // Tasks jump disjoint Node ranges but chase chains through each
+          // other's writes; relaxed-atomic lane accesses keep the monotone
+          // jumping race-free (op-counted identically to the plain path).
+          while (any(Moving)) {
+            VInt<BK> P = gatherRelaxed<BK>(Parent.data(), X, Moving);
+            VInt<BK> PP = gatherRelaxed<BK>(Parent.data(), P, Moving);
+            scatterRelaxed<BK>(Parent.data(), Node, PP, Moving);
+            Moving = Moving & (P != PP);
+            X = select<BK>(Moving, P, X);
+          }
+        });
   };
 
   runPipe(Cfg,

@@ -6,24 +6,21 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Push-style PageRank: every node scatters rank/degree contributions to its
-/// out-neighbours with CAS-based atomic float adds — the "extensive use of
-/// cmpxchg" the paper names as PR's bottleneck on CPUs — then a vertex phase
-/// applies damping and measures the residual. Iterates to a tolerance with
-/// a fixed upper bound on rounds.
-///
-/// The contribution scatter goes through the update engine
-/// (Cfg.Update, sched/UpdateEngine.h): Atomic keeps the pre-engine per-lane
-/// CAS loop, Combined pre-reduces same-destination lanes in registers, and
-/// Privatized/Blocked stage contributions CAS-free and apply them in a
-/// dedicated merge phase inserted between the push and apply phases.
+/// Push-style PageRank: every node scatters rank/degree contributions to
+/// its out-neighbours through the update engine (sched/UpdateEngine.h) —
+/// Atomic keeps the per-lane CAS loop, the "extensive use of cmpxchg" the
+/// paper names as PR's bottleneck; Combined pre-reduces same-destination
+/// lanes; Privatized/Blocked stage contributions CAS-free and apply them in
+/// a dedicated merge phase — then a vertex phase applies damping and
+/// measures the residual. Iterates to a tolerance with a bound on rounds.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef EGACS_KERNELS_PR_H
 #define EGACS_KERNELS_PR_H
 
-#include "kernels/KernelUtil.h"
+#include "engine/Engine.h"
+#include "kernels/Kernels.h"
 
 #include <cmath>
 #include <cstring>
@@ -33,15 +30,12 @@ namespace egacs {
 
 /// pr: returns the converged PageRank vector (sums to ~1).
 ///
-/// With Cfg.Dir != Push and a transposed view \p GT, the push phase is
-/// replaced by a pull accumulation round: each destination gathers the
-/// contributions of its in-neighbors over \p GT and register-accumulates
-/// them into one plain store — atomic-free *by construction* (every
-/// destination is owned by exactly one lane of one task), so the CAS storm
-/// the paper names as PR's bottleneck disappears entirely rather than being
-/// combined or privatized away. PR is dense every round (no frontier), so
-/// Pull and Hybrid behave identically and the update-engine policy knob is
-/// ignored in pull mode.
+/// With Cfg.Dir != Push and a transposed view \p GT, the push phase becomes
+/// a pull accumulation round: each destination gathers its in-neighbors'
+/// contributions over \p GT into one plain store — atomic-free *by
+/// construction* (every destination is owned by exactly one lane of one
+/// task). PR is dense every round (no frontier), so Pull and Hybrid behave
+/// identically and the update-engine knob is ignored in pull mode.
 template <typename BK, typename VT>
 std::vector<float> pageRank(const VT &G, const KernelConfig &Cfg,
                             int MaxRounds = 50, const VT *GT = nullptr) {
@@ -54,22 +48,18 @@ std::vector<float> pageRank(const VT &G, const KernelConfig &Cfg,
   std::vector<float> Contrib(static_cast<std::size_t>(N), 0.0f);
   std::vector<float> Accum(static_cast<std::size_t>(N), 0.0f);
 
-  auto Locals = makeTaskLocals(Cfg);
-  auto Sched = makeLoopScheduler(Cfg, N);
   FloatAccumEngine Eng(Cfg.Update, N, Cfg.NumTasks, Cfg.UpdateBlockNodes,
                        Cfg.SchedInstrument);
   // The push phase gathers Contrib[Src] and add-scatters Accum[Dst]; the
   // node-order phases are unit-stride and need no staging.
   PrefetchPlan PF = kernelPrefetchPlan(Cfg);
-  PF.addProp(Contrib.data(), static_cast<int>(sizeof(float)),
-             PrefetchIndexKind::Node);
-  PF.addProp(Accum.data(), static_cast<int>(sizeof(float)),
-             PrefetchIndexKind::Dst);
-  // Max residual of the current round, stored as float bits (non-negative
-  // floats compare correctly as int32). One cache-line-padded slot per
-  // task, plain-stored behind the phase barrier and max-reduced serially
-  // in the advance, so the reduction issues no CAS chains and a pull-mode
-  // round is atomic-free end to end.
+  planProp(PF, Contrib.data(), PrefetchIndexKind::Node);
+  planProp(PF, Accum.data(), PrefetchIndexKind::Dst);
+  engine::Run<VT> R(Cfg, G, N, std::move(PF));
+  // Max residual of the round as float bits (non-negative floats compare
+  // correctly as int32): one cache-line-padded slot per task, plain-stored
+  // behind the phase barrier and max-reduced serially in the advance, so a
+  // pull-mode round stays atomic-free end to end.
   constexpr std::size_t ResidualStride = 64 / sizeof(std::int32_t);
   std::vector<std::int32_t> ResidualBits(
       static_cast<std::size_t>(Cfg.NumTasks) * ResidualStride, 0);
@@ -78,9 +68,9 @@ std::vector<float> pageRank(const VT &G, const KernelConfig &Cfg,
 
   // Phase 1: per-node out-contribution rank/degree (0 for sinks).
   TaskFn ComputeContrib = [&](int TaskIdx, int TaskCount) {
-    forEachNodeSlice<BK>(
-        G, *Sched, TaskIdx, TaskCount,
-        [&](VInt<BK> Node, VMask<BK> Act, std::int64_t) {
+    auto E = R.ctx(TaskIdx, TaskCount);
+    engine::vertexMapDense<BK>(
+        E, [&](VInt<BK> Node, VMask<BK> Act, std::int64_t) {
           VInt<BK> Row = gather<BK>(G.rowStart(), Node, Act);
           VInt<BK> End = gather<BK>(G.rowStart() + 1, Node, Act);
           VInt<BK> Deg = End - Row;
@@ -97,30 +87,23 @@ std::vector<float> pageRank(const VT &G, const KernelConfig &Cfg,
   // Phase 2: push contributions along edges through the update engine.
   // The edge sweep is generic over the edge functor so the Atomic policy
   // keeps the exact pre-engine inner loop (no per-vector policy dispatch).
-  auto PushSweep = [&](int TaskIdx, int TaskCount, auto &&OnEdge) {
-    TaskLocal &TL = *Locals[TaskIdx];
-    TL.armPrefetch(PF);
-    forEachNodeSlice<BK>(G, *Sched, TaskIdx, TaskCount, PF, TL.Pf,
-                         [&](VInt<BK> Node, VMask<BK> Act, std::int64_t Slot) {
-                           visitEdges<BK>(Cfg, G, Node, Act, TL.Np, OnEdge,
-                                          Slot);
-                         });
-    flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
-  };
   TaskFn PushContrib = [&](int TaskIdx, int TaskCount) {
+    auto E = R.ctx(TaskIdx, TaskCount);
     std::uint64_t T0 = Eng.scatterStart();
     if (Cfg.Update == UpdatePolicy::Atomic)
-      PushSweep(TaskIdx, TaskCount,
-                [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
-                  VFloat<BK> C = gatherF<BK>(Contrib.data(), Src, EAct);
-                  atomicAddVectorF<BK>(Accum.data(), Dst, C, EAct);
-                });
+      engine::edgeMapDense<BK>(
+          E, engine::NoFilter,
+          [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
+            VFloat<BK> C = gatherF<BK>(Contrib.data(), Src, EAct);
+            atomicAddVectorF<BK>(Accum.data(), Dst, C, EAct);
+          });
     else
-      PushSweep(TaskIdx, TaskCount,
-                [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
-                  VFloat<BK> C = gatherF<BK>(Contrib.data(), Src, EAct);
-                  Eng.add<BK>(Accum.data(), TaskIdx, Dst, C, EAct);
-                });
+      engine::edgeMapDense<BK>(
+          E, engine::NoFilter,
+          [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK>, VMask<BK> EAct) {
+            VFloat<BK> C = gatherF<BK>(Contrib.data(), Src, EAct);
+            Eng.add<BK>(Accum.data(), TaskIdx, Dst, C, EAct);
+          });
     Eng.scatterFinish(T0);
   };
 
@@ -128,7 +111,7 @@ std::vector<float> pageRank(const VT &G, const KernelConfig &Cfg,
   // dedicated barrier phase (each slot/bin is dispatched to exactly one
   // task, so the applies are plain writes).
   TaskFn MergeStaged = [&](int TaskIdx, int TaskCount) {
-    Eng.merge(Accum.data(), *Sched, TaskIdx, TaskCount);
+    Eng.merge(Accum.data(), *R.Sched, TaskIdx, TaskCount);
   };
 
   // Pull-direction phase 2: in-neighbor gather + register accumulate, one
@@ -137,13 +120,13 @@ std::vector<float> pageRank(const VT &G, const KernelConfig &Cfg,
   // single writer, so the round is race-free without any atomics.
   const bool UsePull = Cfg.Dir != Direction::Push && GT != nullptr;
   TaskFn PullContrib = [&](int TaskIdx, int TaskCount) {
+    auto E = R.ctx(TaskIdx, TaskCount);
     std::uint64_t T0 = Eng.scatterStart();
     std::int64_t Scanned = 0;
-    forEachNodeSlice<BK>(
-        *GT, *Sched, TaskIdx, TaskCount,
-        [&](VInt<BK> Node, VMask<BK> Act, std::int64_t Slot) {
+    engine::vertexMapDense<BK>(
+        E, *GT, [&](VInt<BK> Node, VMask<BK> Act, std::int64_t Slot) {
           VFloat<BK> Sum = splatF<BK>(0.0f);
-          pullForEachEdge<BK>(
+          engine::edgeMapPull<BK>(
               *GT, Node, Act,
               [&](VInt<BK>, VInt<BK> Src, VInt<BK>, VMask<BK> Live) {
                 Scanned += popcount(Live);
@@ -160,10 +143,10 @@ std::vector<float> pageRank(const VT &G, const KernelConfig &Cfg,
 
   // Phase 3: apply damping, measure residual, reset accumulators.
   TaskFn ApplyAndResidual = [&](int TaskIdx, int TaskCount) {
+    auto E = R.ctx(TaskIdx, TaskCount);
     float LocalMax = 0.0f;
-    forEachNodeSlice<BK>(
-        G, *Sched, TaskIdx, TaskCount,
-        [&](VInt<BK> Node, VMask<BK> Act, std::int64_t) {
+    engine::vertexMapDense<BK>(
+        E, [&](VInt<BK> Node, VMask<BK> Act, std::int64_t) {
           VFloat<BK> Old = gatherF<BK>(Rank.data(), Node, Act);
           VFloat<BK> Sum = gatherF<BK>(Accum.data(), Node, Act);
           VFloat<BK> New = splatF<BK>(Base) + splatF<BK>(Cfg.PrDamping) * Sum;

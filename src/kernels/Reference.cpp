@@ -7,7 +7,7 @@
 
 #include "kernels/Reference.h"
 
-#include "kernels/KernelUtil.h"
+#include "engine/Engine.h"
 #include "kernels/Mis.h"
 
 #include <algorithm>

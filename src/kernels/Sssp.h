@@ -8,17 +8,17 @@
 /// \file
 /// SSSP-NF: the near-far worklist algorithm the paper evaluates (Table
 /// VIII), a delta-stepping relative with two priority piles. Nodes whose
-/// tentative distance falls below the current threshold go to the "near"
-/// pile and are processed immediately; the rest wait in "far" until the
-/// threshold advances by DELTA. The same input-specific DELTA is used across
-/// frameworks in the paper's comparisons.
+/// tentative distance falls below the current threshold are processed
+/// immediately ("near"); the rest wait in "far" until the threshold
+/// advances by DELTA (input-specific, shared across frameworks).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef EGACS_KERNELS_SSSP_H
 #define EGACS_KERNELS_SSSP_H
 
-#include "kernels/KernelUtil.h"
+#include "engine/Engine.h"
+#include "kernels/Kernels.h"
 
 #include <vector>
 
@@ -50,54 +50,42 @@ std::vector<std::int32_t> ssspNf(const VT &G, const KernelConfig &Cfg,
   WorklistPair Near(Cap);
   Worklist Far(Cap), FarNext(Cap);
   Near.in().pushSerial(Source);
-  auto Locals = makeTaskLocals(Cfg);
-  auto Sched = makeLoopScheduler(Cfg, static_cast<std::int64_t>(Cap));
   // Relaxations gather Dist[Src], gather the weight by CSR edge index, and
   // min-scatter Dist[Dst]; all three streams join the inspect stage.
   PrefetchPlan PF = kernelPrefetchPlan(Cfg);
-  PF.addProp(Dist.data(), static_cast<int>(sizeof(std::int32_t)),
-             PrefetchIndexKind::Node);
-  PF.addProp(Dist.data(), static_cast<int>(sizeof(std::int32_t)),
-             PrefetchIndexKind::Dst);
-  PF.addProp(G.edgeWeight(), static_cast<int>(sizeof(std::int32_t)),
-             PrefetchIndexKind::Edge);
+  planProp(PF, Dist.data(), PrefetchIndexKind::Node);
+  planProp(PF, Dist.data(), PrefetchIndexKind::Dst);
+  planProp(PF, G.edgeWeight(), PrefetchIndexKind::Edge);
+  engine::Run<VT> R(Cfg, G, static_cast<std::int64_t>(Cap), std::move(PF));
   std::int32_t Threshold = Cfg.Delta;
 
   runPipe(
       Cfg,
       TaskFn([&](int TaskIdx, int TaskCount) {
-        TaskLocal &TL = *Locals[TaskIdx];
-        TL.armPrefetch(PF);
+        auto E = R.ctx(TaskIdx, TaskCount);
         VInt<BK> Thresh = splat<BK>(Threshold);
-        auto OnEdge = [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK> EIdx,
-                          VMask<BK> EAct) {
-          VInt<BK> Du = gather<BK>(Dist.data(), Src, EAct);
-          VInt<BK> W = gather<BK>(G.edgeWeight(), EIdx, EAct);
-          VInt<BK> Cand = Du + W;
-          // Relaxation through the update engine. The combined variant
-          // marks the lane holding the *minimum* candidate as the winner,
-          // so the near/far classification below reads the value actually
-          // written to Dist (a leader-lane mask could misfile a node into
-          // Far and lose it at the next threshold advance).
-          VMask<BK> Won =
-              updateMinVector<BK>(Cfg.Update, Dist.data(), Dst, Cand, EAct);
-          if (!any(Won))
-            return;
-          VMask<BK> ToNear = Won & (Cand < Thresh);
-          VMask<BK> ToFar = andNot(Won, ToNear);
-          if (any(ToNear))
-            pushFrontier<BK>(Cfg, Near.out(), nullptr, Dst, ToNear);
-          if (any(ToFar))
-            pushFrontier<BK>(Cfg, Far, nullptr, Dst, ToFar);
-        };
-        forEachWorklistSlice<BK>(Cfg, G, *Sched, Near.in().items(),
-                                 Near.in().size(), TaskIdx, TaskCount, PF,
-                                 TL.Pf,
-                                 [&](VInt<BK> Node, VMask<BK> Act) {
-                                   visitEdges<BK>(Cfg, G, Node, Act, TL.Np,
-                                                  OnEdge);
-                                 });
-        flushEdges<BK>(Cfg, G, TL.Np, OnEdge);
+        engine::edgeMapSparse<BK>(
+            E, Near.in(),
+            [&](VInt<BK> Src, VInt<BK> Dst, VInt<BK> EIdx, VMask<BK> EAct) {
+              VInt<BK> Du = gather<BK>(Dist.data(), Src, EAct);
+              VInt<BK> W = gather<BK>(G.edgeWeight(), EIdx, EAct);
+              VInt<BK> Cand = Du + W;
+              // Relaxation through the update engine. The combined variant
+              // marks the lane holding the *minimum* candidate as winner,
+              // so the near/far classification below reads the value
+              // actually written to Dist (a leader-lane mask could misfile
+              // a node into Far and lose it forever).
+              VMask<BK> Won = updateMinVector<BK>(Cfg.Update, Dist.data(),
+                                                  Dst, Cand, EAct);
+              if (!any(Won))
+                return;
+              VMask<BK> ToNear = Won & (Cand < Thresh);
+              VMask<BK> ToFar = andNot(Won, ToNear);
+              if (any(ToNear))
+                pushFrontier<BK>(Cfg, Near.out(), nullptr, Dst, ToNear);
+              if (any(ToFar))
+                pushFrontier<BK>(Cfg, Far, nullptr, Dst, ToFar);
+            });
       }),
       [&] {
         Near.swap();

@@ -18,22 +18,12 @@
 #ifndef EGACS_KERNELS_TRI_H
 #define EGACS_KERNELS_TRI_H
 
-#include "kernels/KernelUtil.h"
+#include "engine/Engine.h"
+#include "kernels/Kernels.h"
 
 #include <vector>
 
 namespace egacs {
-
-/// Builds the edge -> source-node map used by edge-parallel kernels.
-/// Works on any GraphView (uses only the CSR fallback surface).
-template <typename VT>
-std::vector<NodeId> buildEdgeSources(const VT &G) {
-  std::vector<NodeId> Src(static_cast<std::size_t>(G.numEdges()));
-  for (NodeId N = 0; N < G.numNodes(); ++N)
-    for (EdgeId E = G.rowStart()[N]; E < G.rowStart()[N + 1]; ++E)
-      Src[static_cast<std::size_t>(E)] = N;
-  return Src;
-}
 
 /// tri: counts triangles of the symmetric graph \p G, whose adjacency lists
 /// must be sorted by destination. Edge-parallel over the CSR edge array,
@@ -47,12 +37,10 @@ std::int64_t triangleCount(const VT &G, const KernelConfig &Cfg) {
   std::vector<NodeId> EdgeSrc = buildEdgeSources(G);
   std::int64_t Total = 0;
   auto Sched = makeLoopScheduler(Cfg, G.numEdges());
-  // Tri's merges chase data-dependent cursors, so the generic staged vertex
-  // loop does not fit; instead the edge-parallel sweep carries its own
-  // two-distance inspect stage: row_ptr lines for the (u, v) endpoints of
-  // the vector Dist ahead, and the heads of both adjacency lists (where
-  // every merge starts) at half that distance. Only immutable topology is
-  // demand-read ahead of time.
+  // Tri's merges chase data-dependent cursors, so instead of the staged
+  // vertex loop the edge-parallel sweep carries a two-distance inspect
+  // stage: row_ptr lines for the (u, v) endpoints Dist vectors ahead, both
+  // adjacency-list heads at half that distance.
   PrefetchPlan PF = kernelPrefetchPlan(Cfg);
 
   Cfg.TS->launch(Cfg.NumTasks, [&](int TaskIdx, int TaskCount) {
@@ -90,52 +78,37 @@ std::int64_t triangleCount(const VT &G, const KernelConfig &Cfg) {
     // Edge-parallel loop: lanes take consecutive (u, v) edges of each
     // scheduled range. Per-edge work varies with deg(u) + deg(v), so the
     // dynamic policies pay off most here on skewed graphs.
-    Sched->forRanges(G.numEdges(), TaskIdx, TaskCount, [&](std::int64_t RB,
-                                                           std::int64_t RE) {
-    if (PF.active()) {
-      for (std::int64_t P = RB; P < RB + Far && P < RE; P += BK::Width)
-        InspectRows(P, RE);
-      for (std::int64_t P = RB; P < RB + Near && P < RE; P += BK::Width)
-        InspectHeads(P, RE);
-    }
-    for (std::int64_t EBase = RB; EBase < RE; EBase += BK::Width) {
-      if (PF.active()) {
-        if (EBase + Far < RE)
-          InspectRows(EBase + Far, RE);
-        if (EBase + Near < RE)
-          InspectHeads(EBase + Near, RE);
-      }
-      int Valid = static_cast<int>(
-          RE - EBase < BK::Width ? RE - EBase : BK::Width);
-      VMask<BK> Act = maskFirstN<BK>(Valid);
-      VInt<BK> U = maskedLoad<BK>(EdgeSrc.data() + EBase, Act);
-      VInt<BK> V = maskedLoad<BK>(G.edgeDst() + EBase, Act);
-      // Count each undirected edge once, from its smaller endpoint.
-      Act = Act & (U < V);
-      if (!any(Act))
-        continue;
+    engine::edgeMapFlat<BK>(
+        *Sched, G.numEdges(), TaskIdx, TaskCount, PF.active(), Far,
+        InspectRows, Near, InspectHeads,
+        [&](std::int64_t EBase, VMask<BK> Act) {
+          VInt<BK> U = maskedLoad<BK>(EdgeSrc.data() + EBase, Act);
+          VInt<BK> V = maskedLoad<BK>(G.edgeDst() + EBase, Act);
+          // Count each undirected edge once, from its smaller endpoint.
+          Act = Act & (U < V);
+          if (!any(Act))
+            return;
 
-      VInt<BK> Pu = gather<BK>(G.rowStart(), U, Act);
-      VInt<BK> EndU = gather<BK>(G.rowStart() + 1, U, Act);
-      VInt<BK> Pv = gather<BK>(G.rowStart(), V, Act);
-      VInt<BK> EndV = gather<BK>(G.rowStart() + 1, V, Act);
+          VInt<BK> Pu = gather<BK>(G.rowStart(), U, Act);
+          VInt<BK> EndU = gather<BK>(G.rowStart() + 1, U, Act);
+          VInt<BK> Pv = gather<BK>(G.rowStart(), V, Act);
+          VInt<BK> EndV = gather<BK>(G.rowStart() + 1, V, Act);
 
-      VMask<BK> Live = Act & (Pu < EndU) & (Pv < EndV);
-      while (any(Live)) {
-        recordLaneUtilization<BK>(Live);
-        VInt<BK> Au = gather<BK>(G.edgeDst(), Pu, Live);
-        VInt<BK> Av = gather<BK>(G.edgeDst(), Pv, Live);
-        VMask<BK> Eq = Live & (Au == Av);
-        // Only common neighbours above v close a u < v < w triangle.
-        LocalCount += popcount(Eq & (Au > V));
-        VMask<BK> StepU = Live & (Au <= Av);
-        VMask<BK> StepV = Live & (Av <= Au);
-        Pu = select<BK>(StepU, Pu + splat<BK>(1), Pu);
-        Pv = select<BK>(StepV, Pv + splat<BK>(1), Pv);
-        Live = Live & (Pu < EndU) & (Pv < EndV);
-      }
-    }
-    });
+          VMask<BK> Live = Act & (Pu < EndU) & (Pv < EndV);
+          while (any(Live)) {
+            recordLaneUtilization<BK>(Live);
+            VInt<BK> Au = gather<BK>(G.edgeDst(), Pu, Live);
+            VInt<BK> Av = gather<BK>(G.edgeDst(), Pv, Live);
+            VMask<BK> Eq = Live & (Au == Av);
+            // Only common neighbours above v close a u < v < w triangle.
+            LocalCount += popcount(Eq & (Au > V));
+            VMask<BK> StepU = Live & (Au <= Av);
+            VMask<BK> StepV = Live & (Av <= Au);
+            Pu = select<BK>(StepU, Pu + splat<BK>(1), Pu);
+            Pv = select<BK>(StepV, Pv + splat<BK>(1), Pv);
+            Live = Live & (Pu < EndU) & (Pv < EndV);
+          }
+        });
     if (LocalCount)
       atomicAddGlobal64(&Total, LocalCount);
   });

@@ -7,6 +7,7 @@
 
 #include "runtime/TaskSystem.h"
 
+#include "support/ParseEnum.h"
 #include "support/Stats.h"
 
 #include <cassert>
@@ -248,11 +249,5 @@ TaskSystemKind egacs::parseTaskSystemKind(const std::string &Name) {
     return TaskSystemKind::Pool;
   if (Name == "spin")
     return TaskSystemKind::SpinPool;
-  // Report and exit: an assert would compile out of release builds and
-  // silently fall back to Serial, turning a typo into a bogus benchmark.
-  std::fprintf(stderr,
-               "error: unknown task system '%s' (expected "
-               "serial|spawn|pool|spin)\n",
-               Name.c_str());
-  std::exit(2);
+  parseEnumFail("task system", Name, "serial|spawn|pool|spin");
 }

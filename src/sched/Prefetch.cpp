@@ -7,6 +7,8 @@
 
 #include "sched/Prefetch.h"
 
+#include "support/ParseEnum.h"
+
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -33,9 +35,5 @@ PrefetchPolicy egacs::parsePrefetchPolicy(const std::string &Name) {
     return PrefetchPolicy::Rows;
   if (Name == "rows+props")
     return PrefetchPolicy::RowsProps;
-  std::fprintf(stderr,
-               "error: unknown prefetch policy '%s' (expected "
-               "none|rows|rows+props)\n",
-               Name.c_str());
-  std::exit(2);
+  parseEnumFail("prefetch policy", Name, "none|rows|rows+props");
 }

@@ -7,6 +7,8 @@
 
 #include "sched/UpdateEngine.h"
 
+#include "support/ParseEnum.h"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -35,9 +37,5 @@ UpdatePolicy egacs::parseUpdatePolicy(const std::string &Name) {
     return UpdatePolicy::Privatized;
   if (Name == "blocked")
     return UpdatePolicy::Blocked;
-  std::fprintf(stderr,
-               "error: unknown update policy '%s' (expected "
-               "atomic|combined|privatized|blocked)\n",
-               Name.c_str());
-  std::exit(2);
+  parseEnumFail("update policy", Name, "atomic|combined|privatized|blocked");
 }

@@ -7,6 +7,8 @@
 
 #include "sched/WorkStealing.h"
 
+#include "support/ParseEnum.h"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -31,9 +33,5 @@ SchedPolicy egacs::parseSchedPolicy(const std::string &Name) {
     return SchedPolicy::Chunked;
   if (Name == "stealing")
     return SchedPolicy::Stealing;
-  std::fprintf(stderr,
-               "error: unknown sched policy '%s' (expected "
-               "static|chunked|stealing)\n",
-               Name.c_str());
-  std::exit(2);
+  parseEnumFail("sched policy", Name, "static|chunked|stealing");
 }

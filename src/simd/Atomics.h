@@ -167,6 +167,12 @@ inline std::int32_t atomicLoadGlobal(const std::int32_t *P) {
   return __atomic_load_n(P, __ATOMIC_RELAXED);
 }
 
+/// Relaxed atomic store to a uniform location; the writer-side pair of
+/// atomicLoadGlobal for idempotent blind stores (MIS demotion/exclusion).
+inline void atomicStoreGlobal(std::int32_t *P, std::int32_t V) {
+  __atomic_store_n(P, V, __ATOMIC_RELAXED);
+}
+
 /// Atomic compare-and-swap on a uniform location.
 inline bool atomicCasGlobal(std::int32_t *P, std::int32_t Expected,
                             std::int32_t Desired) {
@@ -234,6 +240,23 @@ VInt<B> gatherRelaxed(const std::int32_t *Base, VInt<B> Idx, VMask<B> M) {
     Out = insert(Out, L, atomicLoadGlobal(Base + extract(Idx, L)));
   }
   return Out;
+}
+
+/// Per-active-lane relaxed-atomic scatter Base[Idx[l]] = Val[l]. The writer
+/// side of gatherRelaxed, for idempotent blind stores that race with reads
+/// of the same property (MIS state demotion/exclusion): per lane the same
+/// x86 mov a hardware scatter decomposes into, but race-free under the C++
+/// memory model (and TSan). Counted as a scatter so the Fig-7 op counts
+/// match the plain path.
+template <typename B>
+void scatterRelaxed(std::int32_t *Base, VInt<B> Idx, VInt<B> Val, VMask<B> M) {
+  detail::countScatter();
+  std::uint64_t Bits = maskBits(M);
+  while (Bits) {
+    int L = __builtin_ctzll(Bits);
+    Bits &= Bits - 1;
+    atomicStoreGlobal(Base + extract(Idx, L), extract(Val, L));
+  }
 }
 
 /// Per-active-lane atomic min Base[Idx[l]] = min(., Val[l]); returns the mask

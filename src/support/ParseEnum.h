@@ -1,0 +1,38 @@
+//===- support/ParseEnum.h - Uniform CLI enum-parse failure -----*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one failure path shared by every `parse*` CLI helper (task system,
+/// sched/update/prefetch policy, layout, direction, kernel, target): print
+/// `error: unknown <what> '<got>'; valid values are <list>` to stderr and
+/// exit 2. An assert would compile out of release builds and silently fall
+/// back to a default, turning a typo into a bogus benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_SUPPORT_PARSEENUM_H
+#define EGACS_SUPPORT_PARSEENUM_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace egacs {
+
+/// Reports an unparseable \p What value \p Got against the pipe-separated
+/// \p Valid set, then exits 2 (the CLI usage-error convention).
+[[noreturn]] inline void parseEnumFail(const char *What,
+                                       const std::string &Got,
+                                       const std::string &Valid) {
+  std::fprintf(stderr, "error: unknown %s '%s'; valid values are %s\n", What,
+               Got.c_str(), Valid.c_str());
+  std::exit(2);
+}
+
+} // namespace egacs
+
+#endif // EGACS_SUPPORT_PARSEENUM_H

@@ -12,6 +12,7 @@
 #include "sched/UpdateEngine.h"
 #include "sched/WorkStealing.h"
 #include "simd/Targets.h"
+#include "support/ParseEnum.h"
 
 #include <algorithm>
 #include <cmath>
@@ -112,11 +113,13 @@ simd::TargetKind verify::parseTargetKind(const std::string &Name) {
   for (simd::TargetKind T : simd::AllTargets)
     if (Name == simd::targetName(T))
       return T;
-  std::fprintf(stderr, "error: unknown target '%s' (valid:", Name.c_str());
-  for (simd::TargetKind T : simd::AllTargets)
-    std::fprintf(stderr, " %s", simd::targetName(T));
-  std::fprintf(stderr, ")\n");
-  std::exit(2);
+  std::string Valid;
+  for (simd::TargetKind T : simd::AllTargets) {
+    if (!Valid.empty())
+      Valid += '|';
+    Valid += simd::targetName(T);
+  }
+  parseEnumFail("target", Name, Valid);
 }
 
 std::string verify::configSpec(const SampledRun &R) {

@@ -32,7 +32,7 @@
 #ifndef EGACS_VERIFY_CONFIGSAMPLE_H
 #define EGACS_VERIFY_CONFIGSAMPLE_H
 
-#include "kernels/KernelConfig.h"
+#include "engine/KernelConfig.h"
 #include "kernels/Kernels.h"
 #include "simd/Backend.h"
 #include "support/Rng.h"

@@ -7,7 +7,7 @@
 
 #include "verify/Oracle.h"
 
-#include "kernels/KernelConfig.h"
+#include "engine/KernelConfig.h"
 
 using namespace egacs;
 using namespace egacs::verify;

@@ -1,0 +1,68 @@
+//===- tests/ParseErrorsTest.cpp - Uniform CLI parse failures -------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+// Every parse* CLI helper must reject an unknown name the same way: exit
+// code 2 and one stderr line of the shape
+//   error: unknown <what> '<got>'; valid values are <a|b|c>
+// (support/ParseEnum.h). The harnesses compose --kernel/--layout/--sched/
+// --update/--prefetch/--direction/--ts/--target freely, so a typo in any of
+// them must fail identically rather than half of them asserting and half
+// falling back silently.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/GraphView.h"
+#include "engine/KernelConfig.h"
+#include "kernels/Kernels.h"
+#include "runtime/TaskSystem.h"
+#include "sched/Prefetch.h"
+#include "sched/UpdateEngine.h"
+#include "sched/WorkStealing.h"
+#include "verify/ConfigSample.h"
+
+#include <gtest/gtest.h>
+
+using namespace egacs;
+
+namespace {
+
+// The uniform failure shape, anchored on both the error prefix and the
+// valid-set phrasing (regex over the captured stderr).
+#define EXPECT_PARSE_FAIL(Call, What, ValidRe)                                \
+  EXPECT_EXIT((Call), ::testing::ExitedWithCode(2),                           \
+              "error: unknown " What " 'bogus'; valid values are " ValidRe)
+
+TEST(ParseErrors, AllHelpersShareTheFailureShape) {
+  EXPECT_PARSE_FAIL(parseTaskSystemKind("bogus"), "task system",
+                    "serial\\|spawn\\|pool\\|spin");
+  EXPECT_PARSE_FAIL(parseLayoutKind("bogus"), "layout", "csr\\|hubcsr\\|sell");
+  EXPECT_PARSE_FAIL(parseSchedPolicy("bogus"), "sched policy",
+                    "static\\|chunked\\|stealing");
+  EXPECT_PARSE_FAIL(parseUpdatePolicy("bogus"), "update policy",
+                    "atomic\\|combined\\|privatized\\|blocked");
+  EXPECT_PARSE_FAIL(parsePrefetchPolicy("bogus"), "prefetch policy",
+                    "none\\|rows\\|rows\\+props");
+  EXPECT_PARSE_FAIL(parseDirection("bogus"), "direction",
+                    "push\\|pull\\|hybrid");
+  EXPECT_PARSE_FAIL(parseKernelKind("bogus"), "kernel",
+                    "bfs-wl\\|bfs-cx\\|bfs-tp\\|bfs-hb\\|cc\\|tri\\|sssp\\|"
+                    "mis\\|pr\\|mst");
+  EXPECT_PARSE_FAIL(verify::parseTargetKind("bogus"), "target",
+                    "scalar-i32x1\\|");
+}
+
+TEST(ParseErrors, ValidNamesStillParse) {
+  EXPECT_EQ(parseTaskSystemKind("spin"), TaskSystemKind::SpinPool);
+  EXPECT_EQ(parseLayoutKind("hub"), LayoutKind::HubCsr) << "alias survives";
+  EXPECT_EQ(parseSchedPolicy("stealing"), SchedPolicy::Stealing);
+  EXPECT_EQ(parseUpdatePolicy("blocked"), UpdatePolicy::Blocked);
+  EXPECT_EQ(parsePrefetchPolicy("rows+props"), PrefetchPolicy::RowsProps);
+  EXPECT_EQ(parseDirection("hybrid"), Direction::Hybrid);
+  EXPECT_EQ(parseKernelKind("bfs-hb"), KernelKind::BfsHb);
+  EXPECT_EQ(verify::parseTargetKind("scalar-i32x1"),
+            simd::TargetKind::Scalar1);
+}
+
+} // namespace

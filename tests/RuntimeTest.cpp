@@ -5,7 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "kernels/PipeDriver.h"
+#include "engine/PipeDriver.h"
 #include "runtime/Barrier.h"
 #include "runtime/Fibers.h"
 #include "runtime/TaskSystem.h"
