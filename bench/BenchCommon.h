@@ -34,6 +34,10 @@
 ///   --json=P    also write the harness's measurements to P as JSON
 ///               (machine-readable perf trajectories)
 ///   --verify=0  skip output verification for faster sweeps
+///   --trace=P   record per-round/per-operator spans for every kernel run
+///               and export them as Chrome/Perfetto trace_event JSON to P
+///               (EGACS_TRACE builds only; otherwise exits 2)
+///   --trace-summary  print the per-round summary table at exit
 ///
 /// or the equivalent EGACS_* environment variables.
 ///
@@ -48,9 +52,12 @@
 #include "simd/Targets.h"
 #include "support/CpuInfo.h"
 #include "support/Options.h"
+#include "support/ParseEnum.h"
 #include "support/Stats.h"
 #include "support/Table.h"
 #include "support/Timer.h"
+#include "trace/Trace.h"
+#include "trace/TraceExport.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -68,6 +75,15 @@ struct Input {
   Csr GSorted;        ///< destination-sorted variant (for tri)
   NodeId Source = 0;  ///< bfs/sssp source (highest-degree node)
 };
+
+/// The harness-wide tracing session, set by the live BenchEnv. timeKernel
+/// and profileKernel attach it to every config they run, so harnesses that
+/// build their own KernelConfig (most of them never call applySched) are
+/// traced without per-site plumbing.
+inline trace::TraceSession *&activeTrace() {
+  static trace::TraceSession *S = nullptr;
+  return S;
+}
 
 /// Common harness options parsed from argv/environment.
 struct BenchEnv {
@@ -89,6 +105,11 @@ struct BenchEnv {
   int BetaDenom;
   std::string JsonPath;
   bool Verify;
+  std::string TracePath;
+  bool TraceSummary;
+  /// Live tracing session when --trace/--trace-summary asked for one
+  /// (EGACS_TRACE builds only); exported when the env is destroyed.
+  std::unique_ptr<trace::TraceSession> Trace;
 
   BenchEnv(int Argc, char **Argv)
       : Opts(Argc, Argv),
@@ -109,13 +130,64 @@ struct BenchEnv {
         AlphaNum(static_cast<int>(Opts.getInt("alpha", 15))),
         BetaDenom(static_cast<int>(Opts.getInt("beta", 18))),
         JsonPath(Opts.getString("json", "")),
-        Verify(Opts.getBool("verify", true)) {
+        Verify(Opts.getBool("verify", true)),
+        TracePath(Opts.getString("trace", "")),
+        TraceSummary(Opts.getBool("trace-summary", false)) {
     if (NumTasks < 1)
       NumTasks = 1;
     if (ChunkSize < 1)
       ChunkSize = 1;
     if (SellSigma < 1)
       SellSigma = 1;
+#ifdef EGACS_TRACE
+    if (!TracePath.empty() || TraceSummary) {
+      Trace = std::make_unique<trace::TraceSession>();
+      activeTrace() = Trace.get();
+    }
+#else
+    // The knobs exist but the subsystem was compiled out: fail with the
+    // uniform parse error (exit 2) instead of silently ignoring them.
+    if (!TracePath.empty())
+      parseEnumFail("option", "trace", "(none: built with EGACS_TRACE=OFF)");
+    if (TraceSummary)
+      parseEnumFail("option", "trace-summary",
+                    "(none: built with EGACS_TRACE=OFF)");
+#endif
+  }
+
+  ~BenchEnv() {
+    exportTrace();
+    if (Trace && activeTrace() == Trace.get())
+      activeTrace() = nullptr;
+  }
+  BenchEnv(const BenchEnv &) = delete;
+  BenchEnv &operator=(const BenchEnv &) = delete;
+
+  /// Prints the per-round summary and/or writes the Chrome trace file, per
+  /// the knobs. Runs once (the session stays readable afterwards).
+  void exportTrace() {
+    if (!Trace || TraceExported)
+      return;
+    TraceExported = true;
+    if (TraceSummary)
+      std::printf("\n%s", trace::renderTraceSummary(*Trace).c_str());
+    if (!TracePath.empty() && trace::writeChromeTrace(*Trace, TracePath))
+      std::printf("\ntrace: wrote %s (%zu runs, %zu rounds, %llu spans%s)\n",
+                  TracePath.c_str(), Trace->runs().size(),
+                  Trace->rounds().size(),
+                  static_cast<unsigned long long>(totalSpans()),
+                  Trace->perfAvailable() ? ", perf counters on"
+                                         : ", perf counters unavailable");
+  }
+
+  /// Total operator spans retained across all task rings.
+  std::uint64_t totalSpans() const {
+    if (!Trace)
+      return 0;
+    std::uint64_t N = 0;
+    for (std::size_t T = 0; T < Trace->numTasks(); ++T)
+      N += Trace->task(T)->totalSpans() - Trace->task(T)->droppedSpans();
+    return N;
   }
 
   /// Builds the configured task system.
@@ -138,7 +210,11 @@ struct BenchEnv {
     Cfg.Dir = Dir;
     Cfg.AlphaNum = AlphaNum;
     Cfg.BetaDenom = BetaDenom;
+    Cfg.Trace = Trace.get();
   }
+
+private:
+  bool TraceExported = false;
 };
 
 /// Machine-readable measurement output for the ablation harnesses
@@ -149,6 +225,11 @@ struct BenchEnv {
 class JsonLog {
 public:
   explicit JsonLog(std::string Path) : Path(std::move(Path)) {}
+  /// Harness-standard form: takes the output path from --json and, when the
+  /// env carries a tracing session, embeds a per-round trace digest in the
+  /// written file (path of the full Chrome trace, round/span totals, and a
+  /// bounded per-round [run, round, ms, frontier, direction] array).
+  explicit JsonLog(const BenchEnv &Env) : Path(Env.JsonPath), Env(&Env) {}
   ~JsonLog() { write(); }
   JsonLog(const JsonLog &) = delete;
   JsonLog &operator=(const JsonLog &) = delete;
@@ -216,7 +297,9 @@ private:
       }
       Out += "]";
     }
-    Out += "\n  ]\n}\n";
+    Out += "\n  ]";
+    appendTrace(Out);
+    Out += "\n}\n";
     if (std::FILE *F = std::fopen(Path.c_str(), "w")) {
       std::fwrite(Out.data(), 1, Out.size(), F);
       std::fclose(F);
@@ -226,7 +309,51 @@ private:
     }
   }
 
+  /// When the harness env carries a live tracing session, embeds its
+  /// digest under a top-level "trace" key (bounded: at most MaxRows
+  /// per-round entries, with a truncation marker).
+  void appendTrace(std::string &Out) const {
+    if (Env == nullptr || !Env->Trace)
+      return;
+    const trace::TraceSession &S = *Env->Trace;
+    constexpr std::size_t MaxRows = 1024;
+    char Buf[192];
+    Out += ",\n  \"trace\": {\n    \"path\": ";
+    appendEscaped(Out, Env->TracePath);
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\n    \"runs\": %zu, \"rounds\": %zu, \"spans\": %llu,"
+                  " \"droppedRounds\": %llu, \"droppedSpans\": %llu,"
+                  " \"perfAvailable\": %s,\n    \"perRound\": [",
+                  S.runs().size(), S.rounds().size(),
+                  static_cast<unsigned long long>(Env->totalSpans()),
+                  static_cast<unsigned long long>(S.droppedRounds()),
+                  static_cast<unsigned long long>(S.droppedSpans()),
+                  S.perfAvailable() ? "true" : "false");
+    Out += Buf;
+    std::size_t Emit = S.rounds().size() < MaxRows ? S.rounds().size()
+                                                   : MaxRows;
+    for (std::size_t I = 0; I < Emit; ++I) {
+      const trace::RoundRecord &R = S.rounds()[I];
+      std::snprintf(Buf, sizeof(Buf), "%s\n      [%u, %u, %.3f, %lld, ",
+                    I ? "," : "", static_cast<unsigned>(R.Run),
+                    static_cast<unsigned>(R.Round),
+                    static_cast<double>(R.EndNs - R.BeginNs) / 1e6,
+                    static_cast<long long>(R.Frontier));
+      Out += Buf;
+      appendEscaped(Out, R.Mode);
+      Out += "]";
+    }
+    Out += "\n    ]";
+    if (Emit < S.rounds().size()) {
+      std::snprintf(Buf, sizeof(Buf), ",\n    \"perRoundTruncated\": %zu",
+                    S.rounds().size() - Emit);
+      Out += Buf;
+    }
+    Out += "\n  }";
+  }
+
   std::string Path;
+  const BenchEnv *Env = nullptr;
   std::vector<std::pair<std::string, std::string>> Meta;
   std::vector<std::string> Columns;
   std::vector<std::vector<std::string>> Rows;
@@ -266,9 +393,12 @@ inline const Csr &graphFor(const Input &In, KernelKind Kind) {
 /// Runs \p Kind \p Reps times and returns the average milliseconds;
 /// verifies the first run's output when \p Verify is set.
 inline double timeKernel(KernelKind Kind, simd::TargetKind Target,
-                         const Input &In, const KernelConfig &Cfg, int Reps,
-                         bool Verify) {
+                         const Input &In, const KernelConfig &BaseCfg,
+                         int Reps, bool Verify) {
   const Csr &G = graphFor(In, Kind);
+  KernelConfig Cfg = BaseCfg;
+  if (Cfg.Trace == nullptr)
+    Cfg.Trace = activeTrace();
   if (Verify) {
     KernelOutput Out = runKernel(Kind, Target, G, Cfg, In.Source);
     if (!verifyKernelOutput(Kind, G, In.Source, Out, Cfg)) {
@@ -289,8 +419,11 @@ inline double timeKernel(KernelKind Kind, simd::TargetKind Target,
 /// counter deltas (the Pin stand-in).
 inline StatsSnapshot profileKernel(KernelKind Kind, simd::TargetKind Target,
                                    const Input &In,
-                                   const KernelConfig &Cfg) {
+                                   const KernelConfig &BaseCfg) {
   const Csr &G = graphFor(In, Kind);
+  KernelConfig Cfg = BaseCfg;
+  if (Cfg.Trace == nullptr)
+    Cfg.Trace = activeTrace();
   simd::setOpCounting(true);
   StatsSnapshot Before = StatsSnapshot::capture();
   runKernel(Kind, Target, G, Cfg, In.Source);

@@ -127,7 +127,7 @@ int main(int Argc, char **Argv) {
   std::int32_t Chunk = static_cast<std::int32_t>(targetWidth(Target));
   std::printf("target: %s (C=%d)\n\n", targetName(Target), Chunk);
 
-  JsonLog Json(Env.JsonPath);
+  JsonLog Json(Env);
   Json.meta("harness", "bench_ablate_direction");
   Json.meta("scale", std::to_string(Env.Scale));
   Json.meta("tasks", std::to_string(Env.NumTasks));

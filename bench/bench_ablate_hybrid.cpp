@@ -34,7 +34,7 @@ int main(int Argc, char **Argv) {
   auto TS = Env.makeTs();
   TargetKind Target = bestTarget();
 
-  JsonLog Json(Env.JsonPath);
+  JsonLog Json(Env);
   Json.meta("harness", "bench_ablate_hybrid");
   Json.meta("scale", std::to_string(Env.Scale));
   Json.meta("tasks", std::to_string(Env.NumTasks));

@@ -113,7 +113,7 @@ int main(int Argc, char **Argv) {
   std::printf("target: %s (C=%d), sigma=%d\n\n", targetName(Target), Chunk,
               Env.SellSigma);
 
-  JsonLog Json(Env.JsonPath);
+  JsonLog Json(Env);
   Json.meta("harness", "bench_ablate_layout");
   Json.meta("scale", std::to_string(Env.Scale));
   Json.meta("tasks", std::to_string(Env.NumTasks));

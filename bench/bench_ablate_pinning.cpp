@@ -34,7 +34,7 @@ int main(int Argc, char **Argv) {
   auto Pinned =
       makeTaskSystem(Env.TsKind, Env.NumTasks, PinPolicy{true, 1});
 
-  JsonLog Json(Env.JsonPath);
+  JsonLog Json(Env);
   Json.meta("harness", "bench_ablate_pinning");
   Json.meta("scale", std::to_string(Env.Scale));
   Json.meta("tasks", std::to_string(Env.NumTasks));

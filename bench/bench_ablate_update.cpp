@@ -103,7 +103,7 @@ int main(int Argc, char **Argv) {
   TargetKind Target = bestTarget();
   auto TS = Env.makeTs();
 
-  JsonLog Json(Env.JsonPath);
+  JsonLog Json(Env);
   Json.meta("harness", "bench_ablate_update");
   Json.meta("scale", std::to_string(Env.Scale));
   Json.meta("tasks", std::to_string(Env.NumTasks));

@@ -109,13 +109,16 @@ inline constexpr struct NoInspectT {
 /// staged.
 template <typename BK, typename VT, typename EdgeFnT>
 void edgeMapSparse(const Ctx<VT> &E, const Worklist &In, EdgeFnT &&OnEdge) {
+  EGACS_TRACED(trace::ScopedSpan Span(
+      E.TL.Trace, trace::SpanKind::EdgeMapSparse, In.size());)
   E.TL.armPrefetch(E.PF);
   forEachWorklistSlice<BK>(E.Cfg, E.G, E.Sched, In.items(), In.size(),
                            E.TaskIdx, E.TaskCount, E.PF, E.TL.Pf,
                            [&](simd::VInt<BK> Node, simd::VMask<BK> Act) {
                              visitEdges<BK>(E.Cfg, E.G, Node, Act, E.TL.Np,
                                             OnEdge);
-                           });
+                           },
+                           E.TL.Trace);
   flushEdges<BK>(E.Cfg, E.G, E.TL.Np, OnEdge);
 }
 
@@ -126,6 +129,9 @@ void edgeMapSparse(const Ctx<VT> &E, const Worklist &In, EdgeFnT &&OnEdge) {
 /// all active lanes. Like edgeMapSparse, drains NP staging on return.
 template <typename BK, typename VT, typename FilterT, typename EdgeFnT>
 void edgeMapDense(const Ctx<VT> &E, FilterT &&Filter, EdgeFnT &&OnEdge) {
+  EGACS_TRACED(trace::ScopedSpan Span(
+      E.TL.Trace, trace::SpanKind::EdgeMapDense,
+      static_cast<std::int64_t>(E.G.numNodes()));)
   E.TL.armPrefetch(E.PF);
   forEachNodeSlice<BK>(
       E.G, E.Sched, E.TaskIdx, E.TaskCount, E.PF, E.TL.Pf,
@@ -137,7 +143,8 @@ void edgeMapDense(const Ctx<VT> &E, FilterT &&Filter, EdgeFnT &&OnEdge) {
           if (any(M))
             visitEdges<BK>(E.Cfg, E.G, Node, M, E.TL.Np, OnEdge, Slot);
         }
-      });
+      },
+      E.TL.Trace);
   flushEdges<BK>(E.Cfg, E.G, E.TL.Np, OnEdge);
 }
 
@@ -167,9 +174,12 @@ void edgeMapPull(const VT &GT, simd::VInt<BK> Node, simd::VMask<BK> Act,
 template <typename BK, typename FarT, typename NearT, typename BodyT>
 void edgeMapFlat(LoopScheduler &Sched, std::int64_t NumEdges, int TaskIdx,
                  int TaskCount, bool Inspect, std::int64_t Far, FarT &&FarFn,
-                 std::int64_t Near, NearT &&NearFn, BodyT &&Body) {
+                 std::int64_t Near, NearT &&NearFn, BodyT &&Body,
+                 [[maybe_unused]] trace::TaskTrace *TT = nullptr) {
   constexpr bool HasFar = !std::is_same_v<std::decay_t<FarT>, NoInspectT>;
   constexpr bool HasNear = !std::is_same_v<std::decay_t<NearT>, NoInspectT>;
+  EGACS_TRACED(trace::ScopedSpan Span(TT, trace::SpanKind::EdgeMapFlat,
+                                      NumEdges);)
   Sched.forRanges(NumEdges, TaskIdx, TaskCount, [&](std::int64_t RB,
                                                     std::int64_t RE) {
     if (Inspect) {

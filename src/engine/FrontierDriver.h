@@ -47,6 +47,21 @@ inline bool dirModeIsPull(DirRoundMode M) {
   return M == DirRoundMode::PullEnter || M == DirRoundMode::Pull;
 }
 
+/// Trace/diagnostic name of \p M.
+inline const char *dirRoundModeName(DirRoundMode M) {
+  switch (M) {
+  case DirRoundMode::Push:
+    return "push";
+  case DirRoundMode::PullEnter:
+    return "pull-enter";
+  case DirRoundMode::Pull:
+    return "pull";
+  case DirRoundMode::PushEnter:
+    return "push-enter";
+  }
+  return "?";
+}
+
 /// Out-degree sum of the worklist \p WL under \p G — Beamer's scout count,
 /// the numerator of the alpha test. Serial; runs in the advance step where
 /// the frontier is at most a few percent of the nodes. (A push worklist may
@@ -131,6 +146,12 @@ void frontierDriver(const KernelConfig &Cfg, const VT &G, WorklistPair &WL,
       SparseRound(TaskIdx, TaskCount);
   };
 
+  // Round 0's input frontier, announced before the pipe opens its window.
+  EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->noteFrontier(
+      StartAllSet ? static_cast<std::int64_t>(G.numNodes())
+                  : static_cast<std::int64_t>(WL.in().size()),
+      dirRoundModeName(Mode));)
+
   runPipe(Cfg, std::vector<TaskFn>{Prepare, Convert, Main}, [&] {
     bool WasPull = dirModeIsPull(Mode);
     std::int64_t FrontierSize;
@@ -146,6 +167,8 @@ void frontierDriver(const KernelConfig &Cfg, const VT &G, WorklistPair &WL,
       return false;
     if (Cfg.Dir == Direction::Pull) {
       Mode = WasPull ? DirRoundMode::Pull : DirRoundMode::PullEnter;
+      EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->noteFrontier(
+          FrontierSize, dirRoundModeName(Mode));)
       return true;
     }
     if (!WasPull) {
@@ -156,6 +179,8 @@ void frontierDriver(const KernelConfig &Cfg, const VT &G, WorklistPair &WL,
         Mode = DirRoundMode::PullEnter;
         EGACS_STAT_ADD(DirectionSwitches, 1);
         EGACS_STAT_ADD(FrontierConversions, 1);
+        EGACS_TRACED(if (Cfg.Trace)
+                         Cfg.Trace->noteDirectionSwitch("push->pull");)
       } else {
         Mode = DirRoundMode::Push;
       }
@@ -168,9 +193,13 @@ void frontierDriver(const KernelConfig &Cfg, const VT &G, WorklistPair &WL,
       Mode = DirRoundMode::PushEnter;
       EGACS_STAT_ADD(DirectionSwitches, 1);
       EGACS_STAT_ADD(FrontierConversions, 1);
+      EGACS_TRACED(if (Cfg.Trace)
+                       Cfg.Trace->noteDirectionSwitch("pull->push");)
     } else {
       Mode = DirRoundMode::Pull;
     }
+    EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->noteFrontier(
+        FrontierSize, dirRoundModeName(Mode));)
     return true;
   });
 }

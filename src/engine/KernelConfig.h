@@ -28,6 +28,10 @@
 
 namespace egacs {
 
+namespace trace {
+class TraceSession;
+} // namespace trace
+
 /// Traversal direction for the frontier-driven kernels (bfs-hb, bfs-wl,
 /// cc, pr). Push is the paper's topology/worklist push style; Pull drives
 /// every round from the transposed graph (destinations gather in-neighbors
@@ -137,6 +141,12 @@ struct KernelConfig {
   /// Hybrid returns to push when |frontier| < numNodes / BetaDenom
   /// (Beamer's beta; GAPBS default 18).
   int BetaDenom = 18;
+
+  // --- Observability ------------------------------------------------------
+  /// Tracing session recording per-round and per-operator spans for this
+  /// run (non-owning; null = not traced). Only consulted in EGACS_TRACE
+  /// builds — the instrumentation compiles away otherwise.
+  trace::TraceSession *Trace = nullptr;
 
   /// Named optimization bundles matching the paper's Fig 5 series.
   static KernelConfig unoptimized(TaskSystem &TS, int NumTasks) {

@@ -28,6 +28,7 @@
 #include "kernels/Sssp.h"
 #include "kernels/Tri.h"
 #include "simd/Targets.h"
+#include "trace/Trace.h"
 
 #include <cstddef>
 
@@ -124,10 +125,17 @@ template <typename VT>
 KernelOutput runKernelView(KernelKind Kind, simd::TargetKind Target,
                            const VT &G, const KernelConfig &Cfg,
                            NodeId Source, const VT *GT) {
-  return simd::dispatchTarget(Target, [&]<typename BK>() {
+  // Every dispatch path (bare-CSR, AnyLayout, static view call sites)
+  // funnels through here, so this is where a traced run opens and closes:
+  // endRun folds the post-pipe trailing window into the last round so the
+  // per-round stat deltas partition the run aggregate.
+  EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->beginRun(kernelName(Kind));)
+  KernelOutput Out = simd::dispatchTarget(Target, [&]<typename BK>() {
     return engine::KernelTable<BK, VT>::Table[static_cast<int>(Kind)](
         G, Cfg, Source, GT);
   });
+  EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->endRun();)
+  return Out;
 }
 
 } // namespace egacs

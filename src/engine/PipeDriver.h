@@ -24,6 +24,7 @@
 
 #include "engine/KernelConfig.h"
 #include "runtime/Barrier.h"
+#include "trace/Trace.h"
 
 #include <atomic>
 #include <cassert>
@@ -44,11 +45,23 @@ inline void runPipe(const KernelConfig &Cfg,
   assert(Cfg.TS && "kernel config needs a task system");
   assert(!Phases.empty() && "pipe needs at least one phase");
 
+  // Tracing wraps the advance step: each AdvanceAndContinue call closes one
+  // frontier round (stat + hardware-counter deltas) and opens the next.
+  // Both hooks run on the thread driving the loop — the host here, task 0
+  // under Iteration Outlining — so the lazily-opened perf counters profile
+  // the thread that actually executes rounds.
+  EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->pipeBegin();)
+  auto Advance = [&] {
+    bool Continue = AdvanceAndContinue();
+    EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->roundMark();)
+    return Continue;
+  };
+
   if (!Cfg.IterationOutlining) {
     for (int Iter = 0; Iter < Cfg.MaxIterations; ++Iter) {
       for (const TaskFn &Phase : Phases)
         Cfg.TS->launch(Cfg.NumTasks, Phase);
-      if (!AdvanceAndContinue())
+      if (!Advance())
         return;
     }
     return;
@@ -65,7 +78,7 @@ inline void runPipe(const KernelConfig &Cfg,
         Bar.wait();
       }
       if (TaskIdx == 0)
-        Done.store(!AdvanceAndContinue(), std::memory_order_release);
+        Done.store(!Advance(), std::memory_order_release);
       Bar.wait();
       if (Done.load(std::memory_order_acquire))
         return;

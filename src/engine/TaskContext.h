@@ -24,6 +24,7 @@
 
 #include "engine/KernelConfig.h"
 #include "sched/NestedParallelism.h"
+#include "trace/Trace.h"
 #include "worklist/Worklist.h"
 
 #include <memory>
@@ -38,6 +39,9 @@ struct TaskLocal {
   /// Batched prefetch statistics; flushed to the global counters when the
   /// task locals are destroyed at the end of the run.
   PrefetchCounters Pf;
+  /// This task's span ring when the run is traced (non-owning; null
+  /// otherwise). Engine operators record their episodes here.
+  trace::TaskTrace *Trace = nullptr;
 
   TaskLocal(std::size_t NpCapacity, std::size_t LocalCapacity)
       : Np(NpCapacity), Local(LocalCapacity) {}
@@ -120,7 +124,11 @@ template <typename VT> struct Run {
   Run(const KernelConfig &Cfg, const VT &G, std::int64_t MaxItems,
       PrefetchPlan PF, std::size_t LocalCapacity = 8192)
       : Cfg(Cfg), G(G), Locals(makeTaskLocals(Cfg, LocalCapacity)),
-        Sched(makeLoopScheduler(Cfg, MaxItems)), PF(std::move(PF)) {}
+        Sched(makeLoopScheduler(Cfg, MaxItems)), PF(std::move(PF)) {
+    EGACS_TRACED(
+        if (Cfg.Trace) for (std::size_t T = 0; T < Locals.size(); ++T)
+            Locals[T]->Trace = Cfg.Trace->taskTrace(static_cast<int>(T));)
+  }
 
   /// One task's context over the run's forward view.
   Ctx<VT> ctx(int TaskIdx, int TaskCount) {

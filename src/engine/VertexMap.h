@@ -79,9 +79,11 @@ void forEachWorklistRangeStaged(const KernelConfig &Cfg, const VT &G,
                                 const NodeId *Items, std::int64_t TotalSize,
                                 std::int64_t Begin, std::int64_t End,
                                 int TaskCount, const PrefetchPlan &PF,
-                                PrefetchCounters &C, BodyT &&Body) {
+                                PrefetchCounters &C, BodyT &&Body,
+                                [[maybe_unused]] trace::TaskTrace *TT =
+                                    nullptr) {
   if (!Cfg.Fibers) {
-    forEachVectorStaged<BK>(G, Items, Begin, End, PF, C, Body);
+    forEachVectorStaged<BK>(G, Items, Begin, End, PF, C, Body, TT);
     return;
   }
 
@@ -109,11 +111,19 @@ void forEachWorklistRangeStaged(const KernelConfig &Cfg, const VT &G,
       prefetchEdgeStage<BK>(G, Items, S, E, PF, C);
   };
 
-  for (int F = 0; F < NumFibers; ++F) {
-    InspectRow(F, 0);
-    InspectRow(F, 1);
-    InspectEdge(F, 0);
+  {
+    EGACS_TRACED(const std::uint64_t Issued0 = C.Issued;
+                 trace::ScopedSpan Inspect(TT, trace::SpanKind::PrefetchInspect);)
+    for (int F = 0; F < NumFibers; ++F) {
+      InspectRow(F, 0);
+      InspectRow(F, 1);
+      InspectEdge(F, 0);
+    }
+    EGACS_TRACED(
+        Inspect.setDetail(static_cast<std::int64_t>(C.Issued - Issued0));)
   }
+  EGACS_TRACED(trace::ScopedSpan Execute(TT, trace::SpanKind::PrefetchExecute,
+                                         End - Begin);)
   for (std::int64_t Step = 0; Step < MaxSteps; ++Step) {
     for (int F = 0; F < NumFibers; ++F) {
       std::int64_t FBegin = Begin + F * PerFiber + Step * BK::Width;
@@ -154,7 +164,8 @@ void forEachWorklistSlice(const KernelConfig &Cfg, const VT &G,
                           LoopScheduler &Sched, const NodeId *Items,
                           std::int64_t Size, int TaskIdx, int TaskCount,
                           const PrefetchPlan &PF, PrefetchCounters &C,
-                          BodyT &&Body) {
+                          BodyT &&Body,
+                          [[maybe_unused]] trace::TaskTrace *TT = nullptr) {
   if (!PF.active()) {
     forEachWorklistSlice<BK>(Cfg, Sched, Items, Size, TaskIdx, TaskCount,
                              Body);
@@ -164,7 +175,7 @@ void forEachWorklistSlice(const KernelConfig &Cfg, const VT &G,
                   [&](std::int64_t Begin, std::int64_t End) {
                     forEachWorklistRangeStaged<BK>(Cfg, G, Items, Size, Begin,
                                                    End, TaskCount, PF, C,
-                                                   Body);
+                                                   Body, TT);
                   });
 }
 
@@ -188,14 +199,16 @@ void forEachNodeSlice(const VT &G, LoopScheduler &Sched, int TaskIdx,
 template <typename BK, typename VT, typename BodyT>
 void forEachNodeSlice(const VT &G, LoopScheduler &Sched, int TaskIdx,
                       int TaskCount, const PrefetchPlan &PF,
-                      PrefetchCounters &C, BodyT &&Body) {
+                      PrefetchCounters &C, BodyT &&Body,
+                      [[maybe_unused]] trace::TaskTrace *TT = nullptr) {
   if (!PF.active()) {
     forEachNodeSlice<BK>(G, Sched, TaskIdx, TaskCount, Body);
     return;
   }
   Sched.forRanges(static_cast<std::int64_t>(G.numNodes()), TaskIdx, TaskCount,
                   [&](std::int64_t Begin, std::int64_t End) {
-                    forEachNodeVectorStaged<BK>(G, Begin, End, PF, C, Body);
+                    forEachNodeVectorStaged<BK>(G, Begin, End, PF, C, Body,
+                                                TT);
                   });
 }
 
@@ -217,6 +230,8 @@ namespace engine {
 /// edge-array traffic for an inspect stage to hide.
 template <typename BK, typename VT, typename BodyT>
 void vertexMapSparse(const Ctx<VT> &E, const Worklist &In, BodyT &&Body) {
+  EGACS_TRACED(trace::ScopedSpan Span(
+      E.TL.Trace, trace::SpanKind::VertexMapSparse, In.size());)
   forEachWorklistSlice<BK>(E.Cfg, E.Sched, In.items(), In.size(), E.TaskIdx,
                            E.TaskCount, Body);
 }
@@ -225,6 +240,9 @@ void vertexMapSparse(const Ctx<VT> &E, const Worklist &In, BodyT &&Body) {
 /// int64 Slot) for every node slot in layout order.
 template <typename BK, typename VT, typename BodyT>
 void vertexMapDense(const Ctx<VT> &E, BodyT &&Body) {
+  EGACS_TRACED(trace::ScopedSpan Span(
+      E.TL.Trace, trace::SpanKind::VertexMapDense,
+      static_cast<std::int64_t>(E.G.numNodes()));)
   forEachNodeSlice<BK>(E.G, E.Sched, E.TaskIdx, E.TaskCount, Body);
 }
 
@@ -232,6 +250,9 @@ void vertexMapDense(const Ctx<VT> &E, BodyT &&Body) {
 /// pull rounds) scheduled by the context.
 template <typename BK, typename VT, typename BodyT>
 void vertexMapDense(const Ctx<VT> &E, const VT &View, BodyT &&Body) {
+  EGACS_TRACED(trace::ScopedSpan Span(
+      E.TL.Trace, trace::SpanKind::VertexMapDense,
+      static_cast<std::int64_t>(View.numNodes()));)
   forEachNodeSlice<BK>(View, E.Sched, E.TaskIdx, E.TaskCount, Body);
 }
 
@@ -240,6 +261,8 @@ void vertexMapDense(const Ctx<VT> &E, const VT &View, BodyT &&Body) {
 /// element (pointer chasing, 64-bit packed keys).
 template <typename VT, typename BodyT>
 void vertexMapRanges(const Ctx<VT> &E, std::int64_t Size, BodyT &&Body) {
+  EGACS_TRACED(trace::ScopedSpan Span(E.TL.Trace,
+                                      trace::SpanKind::VertexMapRanges, Size);)
   E.Sched.forRanges(Size, E.TaskIdx, E.TaskCount, Body);
 }
 

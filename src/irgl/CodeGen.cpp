@@ -377,6 +377,14 @@ void emitPipe(std::string &Out, const Program &P, const Pipe &Pp,
     Out += "  WL.in().pushSerial(Source);\n";
   }
   Out += "  auto Locals = makeTaskLocals(Cfg);\n";
+  // Traced runs: open a run named after the pipe and hand each task its
+  // span ring, mirroring engine::Run's wiring.
+  Out += "  EGACS_TRACED(if (Cfg.Trace) {\n";
+  Out += "    Cfg.Trace->beginRun(\"irgl:" + Pp.Name + "\");\n";
+  Out += "    for (std::size_t T = 0; T < Locals.size(); ++T)\n";
+  Out += "      Locals[T]->Trace = "
+         "Cfg.Trace->taskTrace(static_cast<int>(T));\n";
+  Out += "  })\n";
   // One shared scheduler per pipe run; sized for the largest loop any
   // kernel of the pipe can see (node sweeps or the worklist's capacity).
   Out += "  auto Sched = makeLoopScheduler(Cfg, "

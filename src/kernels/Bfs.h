@@ -180,6 +180,8 @@ std::vector<std::int32_t> bfsWorklist(const VT &G, const KernelConfig &Cfg,
                     LocalCapacity);
   std::int32_t Level = 0;
 
+  EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->noteFrontier(
+      static_cast<std::int64_t>(WL.in().size()), "push");)
   runPipe(
       Cfg,
       TaskFn([&](int TaskIdx, int TaskCount) {
@@ -190,6 +192,8 @@ std::vector<std::int32_t> bfsWorklist(const VT &G, const KernelConfig &Cfg,
       [&] {
         WL.swap();
         ++Level;
+        EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->noteFrontier(
+            static_cast<std::int64_t>(WL.in().size()), "push");)
         return !WL.in().empty();
       });
   return Dist;
@@ -232,6 +236,8 @@ std::vector<std::int32_t> bfsTp(const VT &G, const KernelConfig &Cfg,
   std::int32_t Level = 0;
   std::int32_t Expanded = 0; // relaxations performed in the last round
 
+  EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->noteFrontier(
+      static_cast<std::int64_t>(G.numNodes()), "dense");)
   runPipe(
       Cfg,
       TaskFn([&](int TaskIdx, int TaskCount) {
@@ -245,6 +251,8 @@ std::vector<std::int32_t> bfsTp(const VT &G, const KernelConfig &Cfg,
         ++Level;
         bool Continue = Expanded != 0;
         Expanded = 0;
+        EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->noteFrontier(
+            static_cast<std::int64_t>(G.numNodes()), "dense");)
         return Continue;
       });
   return Dist;
@@ -273,6 +281,8 @@ std::vector<std::int32_t> bfsHb(const VT &G, const KernelConfig &Cfg,
   std::int32_t Level = 0;
   bool Dense = false;
 
+  EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->noteFrontier(
+      static_cast<std::int64_t>(WL.in().size()), "push");)
   runPipe(
       Cfg,
       TaskFn([&](int TaskIdx, int TaskCount) {
@@ -292,6 +302,9 @@ std::vector<std::int32_t> bfsHb(const VT &G, const KernelConfig &Cfg,
         ++Level;
         Dense = WL.in().size() >
                 G.numNodes() / (HybridDenom > 0 ? HybridDenom : 20);
+        EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->noteFrontier(
+            static_cast<std::int64_t>(WL.in().size()),
+            Dense ? "dense" : "push");)
         return !WL.in().empty();
       });
   return Dist;

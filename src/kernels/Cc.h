@@ -151,6 +151,8 @@ std::vector<std::int32_t> connectedComponents(const VT &G,
   engine::Run<VT> R(Cfg, G, static_cast<std::int64_t>(Cap),
                     cc_detail::ccPlan(Cfg, Comp.data()));
 
+  EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->noteFrontier(
+      static_cast<std::int64_t>(WL.in().size()), "push");)
   runPipe(
       Cfg,
       TaskFn([&](int TaskIdx, int TaskCount) {
@@ -159,6 +161,8 @@ std::vector<std::int32_t> connectedComponents(const VT &G,
       }),
       [&] {
         WL.swap();
+        EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->noteFrontier(
+            static_cast<std::int64_t>(WL.in().size()), "push");)
         return !WL.in().empty();
       });
   return Comp;

@@ -145,11 +145,15 @@ std::vector<std::int32_t> maximalIndependentSet(const VT &G,
         });
   };
 
+  EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->noteFrontier(
+      static_cast<std::int64_t>(WL.in().size()), "push");)
   runPipe(Cfg,
           std::vector<TaskFn>{MarkCandidates, DemoteLosers, PromoteSurvivors,
                               ExcludeAndRebuild, Rebuild},
           [&] {
             WL.swap();
+            EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->noteFrontier(
+                static_cast<std::int64_t>(WL.in().size()), "push");)
             return !WL.in().empty();
           });
   return State;

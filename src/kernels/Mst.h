@@ -139,7 +139,8 @@ MstResult boruvkaMst(const VT &G, const KernelConfig &Cfg) {
             updateMin64Combined(Best.data(), CuA, PackedA, Bits);
             updateMin64Combined(Best.data(), CvA, PackedA, Bits);
           }
-        });
+        },
+        R.Locals[TaskIdx]->Trace);
   };
 
   // Hook components along their best edges; the smaller root of a mutual
@@ -213,12 +214,16 @@ MstResult boruvkaMst(const VT &G, const KernelConfig &Cfg) {
         });
   };
 
+  EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->noteFrontier(
+      static_cast<std::int64_t>(G.numNodes()), "dense");)
   runPipe(Cfg,
           std::vector<TaskFn>{ResetBest, FindMinEdges, HookComponents,
                               Compress},
           [&] {
             bool Continue = Hooked != 0;
             Hooked = 0;
+            EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->noteFrontier(
+                static_cast<std::int64_t>(G.numNodes()), "dense");)
             return Continue;
           });
   return Result;

@@ -89,6 +89,8 @@ std::vector<float> pageRank(const VT &G, const KernelConfig &Cfg,
   // keeps the exact pre-engine inner loop (no per-vector policy dispatch).
   TaskFn PushContrib = [&](int TaskIdx, int TaskCount) {
     auto E = R.ctx(TaskIdx, TaskCount);
+    EGACS_TRACED(trace::ScopedSpan Span(E.TL.Trace,
+                                        trace::SpanKind::UpdateScatter);)
     std::uint64_t T0 = Eng.scatterStart();
     if (Cfg.Update == UpdatePolicy::Atomic)
       engine::edgeMapDense<BK>(
@@ -111,6 +113,8 @@ std::vector<float> pageRank(const VT &G, const KernelConfig &Cfg,
   // dedicated barrier phase (each slot/bin is dispatched to exactly one
   // task, so the applies are plain writes).
   TaskFn MergeStaged = [&](int TaskIdx, int TaskCount) {
+    EGACS_TRACED(trace::ScopedSpan Span(R.Locals[TaskIdx]->Trace,
+                                        trace::SpanKind::UpdateMerge);)
     Eng.merge(Accum.data(), *R.Sched, TaskIdx, TaskCount);
   };
 
@@ -121,6 +125,8 @@ std::vector<float> pageRank(const VT &G, const KernelConfig &Cfg,
   const bool UsePull = Cfg.Dir != Direction::Push && GT != nullptr;
   TaskFn PullContrib = [&](int TaskIdx, int TaskCount) {
     auto E = R.ctx(TaskIdx, TaskCount);
+    EGACS_TRACED(trace::ScopedSpan Span(E.TL.Trace,
+                                        trace::SpanKind::UpdateScatter);)
     std::uint64_t T0 = Eng.scatterStart();
     std::int64_t Scanned = 0;
     engine::vertexMapDense<BK>(
@@ -173,6 +179,11 @@ std::vector<float> pageRank(const VT &G, const KernelConfig &Cfg,
   if (!UsePull && Eng.needsMerge())
     Phases.push_back(MergeStaged);
   Phases.push_back(ApplyAndResidual);
+  // PR is dense every round: the "frontier" is the full node set and the
+  // mode reflects only the scatter/gather direction of phase 2.
+  EGACS_TRACED(const char *PrMode = UsePull ? "pull" : "push";
+               if (Cfg.Trace) Cfg.Trace->noteFrontier(
+                   static_cast<std::int64_t>(N), PrMode);)
   runPipe(Cfg, Phases,
           [&] {
             std::int32_t MaxBits = 0;
@@ -185,6 +196,8 @@ std::vector<float> pageRank(const VT &G, const KernelConfig &Cfg,
             float MaxDiff;
             std::memcpy(&MaxDiff, &MaxBits, sizeof(MaxDiff));
             ++Round;
+            EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->noteFrontier(
+                static_cast<std::int64_t>(N), PrMode);)
             return MaxDiff > Cfg.PrTolerance && Round < MaxRounds;
           });
   return Rank;

@@ -59,6 +59,8 @@ std::vector<std::int32_t> ssspNf(const VT &G, const KernelConfig &Cfg,
   engine::Run<VT> R(Cfg, G, static_cast<std::int64_t>(Cap), std::move(PF));
   std::int32_t Threshold = Cfg.Delta;
 
+  EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->noteFrontier(
+      static_cast<std::int64_t>(Near.in().size()), "push");)
   runPipe(
       Cfg,
       TaskFn([&](int TaskIdx, int TaskCount) {
@@ -89,8 +91,11 @@ std::vector<std::int32_t> ssspNf(const VT &G, const KernelConfig &Cfg,
       }),
       [&] {
         Near.swap();
-        if (!Near.in().empty())
+        if (!Near.in().empty()) {
+          EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->noteFrontier(
+              static_cast<std::int64_t>(Near.in().size()), "push");)
           return true;
+        }
         // Near pile exhausted: advance the threshold and split the far pile
         // until some node becomes near (or everything is done).
         while (Near.in().empty() && !Far.empty()) {
@@ -110,6 +115,8 @@ std::vector<std::int32_t> ssspNf(const VT &G, const KernelConfig &Cfg,
           Far.clear();
           std::swap(Far, FarNext);
         }
+        EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->noteFrontier(
+            static_cast<std::int64_t>(Near.in().size()), "push");)
         return !Near.in().empty();
       });
   return Dist;

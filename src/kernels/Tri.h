@@ -43,7 +43,15 @@ std::int64_t triangleCount(const VT &G, const KernelConfig &Cfg) {
   // adjacency-list heads at half that distance.
   PrefetchPlan PF = kernelPrefetchPlan(Cfg);
 
+  // Tri is a single-pass kernel (no runPipe): bracket the one launch as one
+  // round so traced runs still get a round record with its stat delta.
+  EGACS_TRACED(if (Cfg.Trace) {
+    Cfg.Trace->noteFrontier(-1, "flat");
+    Cfg.Trace->pipeBegin();
+  })
   Cfg.TS->launch(Cfg.NumTasks, [&](int TaskIdx, int TaskCount) {
+    trace::TaskTrace *TaskTT = nullptr;
+    EGACS_TRACED(if (Cfg.Trace) TaskTT = Cfg.Trace->taskTrace(TaskIdx);)
     std::int64_t LocalCount = 0;
     PrefetchCounters PfC;
     const std::int64_t Far =
@@ -108,10 +116,12 @@ std::int64_t triangleCount(const VT &G, const KernelConfig &Cfg) {
             Pv = select<BK>(StepV, Pv + splat<BK>(1), Pv);
             Live = Live & (Pu < EndU) & (Pv < EndV);
           }
-        });
+        },
+        TaskTT);
     if (LocalCount)
       atomicAddGlobal64(&Total, LocalCount);
   });
+  EGACS_TRACED(if (Cfg.Trace) Cfg.Trace->roundMark();)
   return Total;
 }
 

@@ -26,6 +26,7 @@
 #include "graph/GraphView.h"
 #include "sched/Prefetch.h"
 #include "simd/Ops.h"
+#include "trace/Trace.h"
 
 #include <cstdint>
 
@@ -95,16 +96,25 @@ void forEachNodeVector(std::int64_t Begin, std::int64_t End, BodyT &&Body) {
 template <typename BK, typename VT, typename BodyT>
 void forEachVectorStaged(const VT &G, const NodeId *Items, std::int64_t Begin,
                          std::int64_t End, const PrefetchPlan &PF,
-                         PrefetchCounters &C, BodyT &&Body) {
+                         PrefetchCounters &C, BodyT &&Body,
+                         [[maybe_unused]] trace::TaskTrace *TT = nullptr) {
   const std::int64_t W = BK::Width;
   const std::int64_t Far =
       static_cast<std::int64_t>(PF.Dist > 0 ? PF.Dist : 0) * W;
   const std::int64_t Near =
       static_cast<std::int64_t>(PF.Dist > 0 ? (PF.Dist + 1) / 2 : 0) * W;
-  for (std::int64_t P = Begin; P < Begin + Far && P < End; P += W)
-    prefetchRowStage<BK>(G, Items, P, End, PF, C);
-  for (std::int64_t P = Begin; P < Begin + Near && P < End; P += W)
-    prefetchEdgeStage<BK>(G, Items, P, End, PF, C);
+  {
+    EGACS_TRACED(const std::uint64_t Issued0 = C.Issued;
+                 trace::ScopedSpan Inspect(TT, trace::SpanKind::PrefetchInspect);)
+    for (std::int64_t P = Begin; P < Begin + Far && P < End; P += W)
+      prefetchRowStage<BK>(G, Items, P, End, PF, C);
+    for (std::int64_t P = Begin; P < Begin + Near && P < End; P += W)
+      prefetchEdgeStage<BK>(G, Items, P, End, PF, C);
+    EGACS_TRACED(
+        Inspect.setDetail(static_cast<std::int64_t>(C.Issued - Issued0));)
+  }
+  EGACS_TRACED(trace::ScopedSpan Execute(TT, trace::SpanKind::PrefetchExecute,
+                                         End - Begin);)
   for (std::int64_t I = Begin; I < End; I += W) {
     if (I + Far < End)
       prefetchRowStage<BK>(G, Items, I + Far, End, PF, C);
@@ -127,7 +137,8 @@ void forEachVectorStaged(const VT &G, const NodeId *Items, std::int64_t Begin,
 template <typename BK, typename VT, typename BodyT>
 void forEachNodeVectorStaged(const VT &G, std::int64_t Begin,
                              std::int64_t End, const PrefetchPlan &PF,
-                             PrefetchCounters &C, BodyT &&Body) {
+                             PrefetchCounters &C, BodyT &&Body,
+                             [[maybe_unused]] trace::TaskTrace *TT = nullptr) {
   const std::int64_t W = BK::Width;
   const NodeId *Order = viewOrder(G);
   std::int64_t I = Begin;
@@ -146,10 +157,18 @@ void forEachNodeVectorStaged(const VT &G, std::int64_t Begin,
       static_cast<std::int64_t>(PF.Dist > 0 ? PF.Dist : 0) * W;
   const std::int64_t Near =
       static_cast<std::int64_t>(PF.Dist > 0 ? (PF.Dist + 1) / 2 : 0) * W;
-  for (std::int64_t P = I; P < I + Far && P < End; P += W)
-    prefetchRowStage<BK>(G, Order, P, End, PF, C);
-  for (std::int64_t P = I; P < I + Near && P < End; P += W)
-    prefetchEdgeStage<BK>(G, Order, P, End, PF, C);
+  {
+    EGACS_TRACED(const std::uint64_t Issued0 = C.Issued;
+                 trace::ScopedSpan Inspect(TT, trace::SpanKind::PrefetchInspect);)
+    for (std::int64_t P = I; P < I + Far && P < End; P += W)
+      prefetchRowStage<BK>(G, Order, P, End, PF, C);
+    for (std::int64_t P = I; P < I + Near && P < End; P += W)
+      prefetchEdgeStage<BK>(G, Order, P, End, PF, C);
+    EGACS_TRACED(
+        Inspect.setDetail(static_cast<std::int64_t>(C.Issued - Issued0));)
+  }
+  EGACS_TRACED(trace::ScopedSpan Execute(TT, trace::SpanKind::PrefetchExecute,
+                                         End - I);)
   for (; I < End; I += W) {
     if (I + Far < End)
       prefetchRowStage<BK>(G, Order, I + Far, End, PF, C);

@@ -8,6 +8,7 @@
 #include "support/Stats.h"
 
 #include <cassert>
+#include <iterator>
 
 using namespace egacs;
 
@@ -17,73 +18,50 @@ constexpr unsigned NumStats = static_cast<unsigned>(Stat::NumStats);
 
 std::atomic<std::uint64_t> Counters[NumStats];
 
+/// Harness names, indexed by Stat declaration order. The static_assert
+/// below makes adding a counter without naming it (or vice versa) a compile
+/// error — the old per-case switch silently tolerated a missing entry.
+constexpr const char *StatNames[] = {
+    "atomic-pushes",
+    "items-pushed",
+    "inner-active-lanes",
+    "inner-total-lanes",
+    "spmd-ops",
+    "gather-ops",
+    "scatter-ops",
+    "task-launches",
+    "barrier-waits",
+    "chunks-dispatched",
+    "chunks-stolen",
+    "steal-failures",
+    "sched-task-nanos",
+    "sched-critical-nanos",
+    "sched-episodes",
+    "cas-attempts",
+    "cas-failures",
+    "combined-lanes-saved",
+    "update-pairs-binned",
+    "update-scatter-crit-nanos",
+    "update-merge-crit-nanos",
+    "neighbor-gather-lanes",
+    "neighbor-contig-lanes",
+    "prefetches-issued",
+    "prefetch-lines-touched",
+    "direction-switches",
+    "pull-edges-scanned",
+    "pull-early-exits",
+    "frontier-conversions",
+};
+static_assert(std::size(StatNames) == NumStats,
+              "StatNames must name every Stat counter, in enum order");
+
 } // namespace
 
 const char *egacs::statName(Stat S) {
-  switch (S) {
-  case Stat::AtomicPushes:
-    return "atomic-pushes";
-  case Stat::ItemsPushed:
-    return "items-pushed";
-  case Stat::InnerActiveLanes:
-    return "inner-active-lanes";
-  case Stat::InnerTotalLanes:
-    return "inner-total-lanes";
-  case Stat::SpmdOps:
-    return "spmd-ops";
-  case Stat::GatherOps:
-    return "gather-ops";
-  case Stat::ScatterOps:
-    return "scatter-ops";
-  case Stat::TaskLaunches:
-    return "task-launches";
-  case Stat::BarrierWaits:
-    return "barrier-waits";
-  case Stat::ChunksDispatched:
-    return "chunks-dispatched";
-  case Stat::ChunksStolen:
-    return "chunks-stolen";
-  case Stat::StealFailures:
-    return "steal-failures";
-  case Stat::SchedTaskNanos:
-    return "sched-task-nanos";
-  case Stat::SchedCriticalNanos:
-    return "sched-critical-nanos";
-  case Stat::SchedEpisodes:
-    return "sched-episodes";
-  case Stat::CasAttempts:
-    return "cas-attempts";
-  case Stat::CasFailures:
-    return "cas-failures";
-  case Stat::CombinedLanesSaved:
-    return "combined-lanes-saved";
-  case Stat::UpdatePairsBinned:
-    return "update-pairs-binned";
-  case Stat::UpdateScatterCritNanos:
-    return "update-scatter-crit-nanos";
-  case Stat::UpdateMergeCritNanos:
-    return "update-merge-crit-nanos";
-  case Stat::NeighborGatherLanes:
-    return "neighbor-gather-lanes";
-  case Stat::NeighborContigLanes:
-    return "neighbor-contig-lanes";
-  case Stat::PrefetchesIssued:
-    return "prefetches-issued";
-  case Stat::PrefetchLinesTouched:
-    return "prefetch-lines-touched";
-  case Stat::DirectionSwitches:
-    return "direction-switches";
-  case Stat::PullEdgesScanned:
-    return "pull-edges-scanned";
-  case Stat::PullEarlyExits:
-    return "pull-early-exits";
-  case Stat::FrontierConversions:
-    return "frontier-conversions";
-  case Stat::NumStats:
-    break;
-  }
-  assert(false && "invalid stat");
-  return "<invalid>";
+  assert(static_cast<unsigned>(S) < NumStats && "invalid stat");
+  if (static_cast<unsigned>(S) >= NumStats)
+    return "<invalid>";
+  return StatNames[static_cast<unsigned>(S)];
 }
 
 void egacs::statAdd(Stat S, std::uint64_t Delta) {

@@ -23,6 +23,13 @@ namespace egacs {
 /// A simple start/stop wall-clock timer with nanosecond resolution.
 class Timer {
 public:
+  /// The clock every EGACS timing path reads (also the trace subsystem's
+  /// timebase). Must be monotonic: kernel timings and span timestamps must
+  /// never go backwards under NTP slew or wall-clock adjustment.
+  using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "EGACS timing requires a monotonic clock");
+
   /// Starts (or restarts) the timer.
   void start() { Begin = Clock::now(); }
 
@@ -49,7 +56,6 @@ public:
   double seconds() const { return static_cast<double>(AccumulatedNs) / 1e9; }
 
 private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point Begin;
   std::uint64_t AccumulatedNs = 0;
 };

@@ -1,0 +1,104 @@
+//===- trace/PerfCounters.cpp - perf_event hardware counters --------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/PerfCounters.h"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define EGACS_HAVE_PERF_EVENT 1
+#include <cstring>
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define EGACS_HAVE_PERF_EVENT 0
+#endif
+
+namespace egacs::trace {
+
+#if EGACS_HAVE_PERF_EVENT
+
+namespace {
+
+int openCounter(std::uint64_t HwEvent) {
+  perf_event_attr Attr;
+  std::memset(&Attr, 0, sizeof(Attr));
+  Attr.type = PERF_TYPE_HARDWARE;
+  Attr.size = sizeof(Attr);
+  Attr.config = HwEvent;
+  Attr.disabled = 0;
+  Attr.exclude_kernel = 1;
+  Attr.exclude_hv = 1;
+  // pid=0, cpu=-1: count this thread wherever it runs.
+  long Fd = syscall(SYS_perf_event_open, &Attr, 0, -1, -1, 0);
+  return static_cast<int>(Fd);
+}
+
+std::uint64_t readCounter(int Fd) {
+  if (Fd < 0)
+    return 0;
+  std::uint64_t Value = 0;
+  if (::read(Fd, &Value, sizeof(Value)) != sizeof(Value))
+    return 0;
+  return Value;
+}
+
+} // namespace
+
+bool PerfCounters::open() {
+  if (Disabled)
+    return false;
+  if (available())
+    return true;
+  closeAll();
+  static const std::uint64_t Events[4] = {
+      PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+      PERF_COUNT_HW_CACHE_MISSES, PERF_COUNT_HW_BRANCH_MISSES};
+  for (int I = 0; I < 4; ++I)
+    Fds[I] = openCounter(Events[I]);
+  if (Fds[0] < 0)
+    closeAll();
+  return available();
+}
+
+PerfSample PerfCounters::read() const {
+  PerfSample S;
+  if (!available())
+    return S;
+  S.Cycles = readCounter(Fds[0]);
+  S.Instructions = readCounter(Fds[1]);
+  S.LlcMisses = readCounter(Fds[2]);
+  S.BranchMisses = readCounter(Fds[3]);
+  S.Valid = true;
+  return S;
+}
+
+void PerfCounters::closeAll() {
+  for (int &Fd : Fds) {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = -1;
+  }
+}
+
+#else // !EGACS_HAVE_PERF_EVENT
+
+bool PerfCounters::open() { return false; }
+
+PerfSample PerfCounters::read() const { return PerfSample{}; }
+
+void PerfCounters::closeAll() {}
+
+#endif // EGACS_HAVE_PERF_EVENT
+
+PerfCounters::~PerfCounters() { closeAll(); }
+
+void PerfCounters::disable() {
+  closeAll();
+  Disabled = true;
+}
+
+} // namespace egacs::trace

@@ -1,0 +1,90 @@
+//===- trace/PerfCounters.h - perf_event hardware counters ------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin wrapper over Linux `perf_event_open` exposing the four hardware
+/// counters the trace subsystem samples at round boundaries: cycles,
+/// instructions, LLC misses, and branch misses. The wrapper degrades to a
+/// no-op when the syscall is unavailable (non-Linux hosts, containers with
+/// a restrictive `perf_event_paranoid`, missing PMU events): open() simply
+/// reports false and read() returns an invalid all-zero sample — attaching
+/// counters must never fail a kernel run.
+///
+/// Counters are thread-bound: open() counts the *calling* thread. The trace
+/// session opens them lazily from the pipe-driver context (task 0 under
+/// Iteration Outlining), so the per-round deltas sample one task's share of
+/// the round — a per-task hardware profile, not a machine-wide aggregate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_TRACE_PERFCOUNTERS_H
+#define EGACS_TRACE_PERFCOUNTERS_H
+
+#include <cstdint>
+
+namespace egacs::trace {
+
+/// One reading of the four hardware counters. Valid is false when the
+/// counters were unavailable (the values are then all zero).
+struct PerfSample {
+  std::uint64_t Cycles = 0;
+  std::uint64_t Instructions = 0;
+  std::uint64_t LlcMisses = 0;
+  std::uint64_t BranchMisses = 0;
+  bool Valid = false;
+
+  /// Per-counter difference (this - Earlier); valid only when both
+  /// endpoints were.
+  PerfSample operator-(const PerfSample &Earlier) const {
+    PerfSample D;
+    D.Cycles = Cycles - Earlier.Cycles;
+    D.Instructions = Instructions - Earlier.Instructions;
+    D.LlcMisses = LlcMisses - Earlier.LlcMisses;
+    D.BranchMisses = BranchMisses - Earlier.BranchMisses;
+    D.Valid = Valid && Earlier.Valid;
+    return D;
+  }
+};
+
+/// RAII owner of up to four per-thread perf_event file descriptors.
+class PerfCounters {
+public:
+  PerfCounters() = default;
+  ~PerfCounters();
+
+  PerfCounters(const PerfCounters &) = delete;
+  PerfCounters &operator=(const PerfCounters &) = delete;
+
+  /// Opens the counters on the calling thread. Returns available(). Safe to
+  /// call more than once; reopening after a failed attempt retries. Cycles
+  /// is the gating event: if it cannot be opened the whole set counts as
+  /// unavailable (individual secondary events may still be missing and read
+  /// as zero on exotic PMUs).
+  bool open();
+
+  /// Closes any open counters and refuses future open() calls — the forced
+  /// unavailable path, used by tests and by --trace consumers that want
+  /// timestamps only.
+  void disable();
+
+  /// True when the cycle counter is live.
+  bool available() const { return Fds[0] >= 0; }
+
+  /// Reads the current cumulative counts (Valid=false, all zero when
+  /// unavailable).
+  PerfSample read() const;
+
+private:
+  void closeAll();
+
+  int Fds[4] = {-1, -1, -1, -1};
+  bool Disabled = false;
+};
+
+} // namespace egacs::trace
+
+#endif // EGACS_TRACE_PERFCOUNTERS_H

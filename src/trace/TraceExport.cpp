@@ -1,0 +1,233 @@
+//===- trace/TraceExport.cpp - Trace exporters ----------------------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceExport.h"
+
+#include "support/Table.h"
+#include "trace/Trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace egacs::trace {
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+std::string jsonStr(const std::string &S) {
+  std::string Out = "\"";
+  appendEscaped(Out, S);
+  Out += "\"";
+  return Out;
+}
+
+/// Microseconds with sub-µs resolution, as Chrome's ts/dur expect.
+std::string micros(std::uint64_t Ns) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64 ".%03u", Ns / 1000,
+                static_cast<unsigned>(Ns % 1000));
+  return Buf;
+}
+
+/// One JSON event under construction; the Events vector collects finished
+/// event strings so the emitter controls comma placement in one place.
+class EventSink {
+public:
+  void metadata(int Pid, int Tid, bool HasTid, const std::string &Kind,
+                const std::string &Name) {
+    std::string E = "{\"ph\":\"M\",\"pid\":" + std::to_string(Pid);
+    if (HasTid)
+      E += ",\"tid\":" + std::to_string(Tid);
+    E += ",\"name\":" + jsonStr(Kind) +
+         ",\"args\":{\"name\":" + jsonStr(Name) + "}}";
+    Events.push_back(std::move(E));
+  }
+
+  void complete(int Pid, int Tid, const std::string &Name,
+                const std::string &Cat, std::uint64_t BeginNs,
+                std::uint64_t EndNs, const std::string &Args) {
+    std::uint64_t Dur = EndNs > BeginNs ? EndNs - BeginNs : 0;
+    std::string E = "{\"ph\":\"X\",\"pid\":" + std::to_string(Pid) +
+                    ",\"tid\":" + std::to_string(Tid) +
+                    ",\"name\":" + jsonStr(Name) + ",\"cat\":" + jsonStr(Cat) +
+                    ",\"ts\":" + micros(BeginNs) + ",\"dur\":" + micros(Dur);
+    if (!Args.empty())
+      E += ",\"args\":{" + Args + "}";
+    E += "}";
+    Events.push_back(std::move(E));
+  }
+
+  void instant(int Pid, int Tid, const std::string &Name, std::uint64_t Ns) {
+    Events.push_back("{\"ph\":\"i\",\"pid\":" + std::to_string(Pid) +
+                     ",\"tid\":" + std::to_string(Tid) +
+                     ",\"name\":" + jsonStr(Name) + ",\"ts\":" + micros(Ns) +
+                     ",\"s\":\"t\"}");
+  }
+
+  void write(std::string &Out) const {
+    for (std::size_t I = 0; I < Events.size(); ++I) {
+      Out += I == 0 ? "\n  " : ",\n  ";
+      Out += Events[I];
+    }
+  }
+
+private:
+  std::vector<std::string> Events;
+};
+
+std::string roundArgs(const RoundRecord &R) {
+  std::string A = "\"round\":" + std::to_string(R.Round) +
+                  ",\"frontier\":" + std::to_string(R.Frontier) +
+                  ",\"direction\":" + jsonStr(R.Mode);
+  std::string Stats;
+  for (unsigned I = 0; I < static_cast<unsigned>(Stat::NumStats); ++I) {
+    if (R.Delta.Values[I] == 0)
+      continue;
+    if (!Stats.empty())
+      Stats += ",";
+    Stats += jsonStr(statName(static_cast<Stat>(I))) + ":" +
+             std::to_string(R.Delta.Values[I]);
+  }
+  if (!Stats.empty())
+    A += ",\"stats\":{" + Stats + "}";
+  if (R.Perf.Valid)
+    A += ",\"perf\":{\"cycles\":" + std::to_string(R.Perf.Cycles) +
+         ",\"instructions\":" + std::to_string(R.Perf.Instructions) +
+         ",\"llc-misses\":" + std::to_string(R.Perf.LlcMisses) +
+         ",\"branch-misses\":" + std::to_string(R.Perf.BranchMisses) + "}";
+  return A;
+}
+
+/// True when run \p Run has at least one round or one task span — the
+/// runKernel layout-dispatch path opens a run, then delegates to the
+/// AnyLayout overload which opens the real one; the empty shell is skipped.
+bool runHasContent(const TraceSession &Session, std::uint16_t Run) {
+  for (const RoundRecord &R : Session.rounds())
+    if (R.Run == Run)
+      return true;
+  for (std::size_t T = 0; T < Session.numTasks(); ++T) {
+    bool Found = false;
+    Session.task(T)->forEachSpan([&](const Span &S) {
+      if (S.Run == Run)
+        Found = true;
+    });
+    if (Found)
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+bool writeChromeTrace(const TraceSession &Session, const std::string &Path) {
+  EventSink Sink;
+  for (std::size_t RunIdx = 0; RunIdx < Session.runs().size(); ++RunIdx) {
+    auto Run = static_cast<std::uint16_t>(RunIdx);
+    if (!runHasContent(Session, Run))
+      continue;
+    int Pid = static_cast<int>(RunIdx) + 1;
+    Sink.metadata(Pid, 0, false, "process_name",
+                  "run " + std::to_string(RunIdx) + ": " +
+                      Session.runs()[RunIdx].Name);
+    Sink.metadata(Pid, 0, true, "thread_name", "driver");
+    for (std::size_t T = 0; T < Session.numTasks(); ++T)
+      Sink.metadata(Pid, static_cast<int>(T) + 1, true, "thread_name",
+                    "task " + std::to_string(T));
+    for (const RoundRecord &R : Session.rounds())
+      if (R.Run == Run)
+        Sink.complete(Pid, 0, "round " + std::to_string(R.Round), "round",
+                      R.BeginNs, R.EndNs, roundArgs(R));
+    for (const TraceEvent &E : Session.events())
+      if (E.Run == Run)
+        Sink.instant(Pid, 0, E.Label, E.Ns);
+    for (std::size_t T = 0; T < Session.numTasks(); ++T)
+      Session.task(T)->forEachSpan([&](const Span &S) {
+        if (S.Run != Run)
+          return;
+        Sink.complete(Pid, static_cast<int>(T) + 1, spanKindName(S.Kind),
+                      spanKindName(S.Kind), S.BeginNs, S.EndNs,
+                      "\"round\":" + std::to_string(S.Round) +
+                          ",\"detail\":" + std::to_string(S.Detail));
+      });
+  }
+
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"otherData\":{"
+                    "\"droppedRounds\":" +
+                    std::to_string(Session.droppedRounds()) +
+                    ",\"droppedSpans\":" +
+                    std::to_string(Session.droppedSpans()) +
+                    ",\"perfAvailable\":" +
+                    (Session.perfAvailable() ? "true" : "false") +
+                    "},\"traceEvents\":[";
+  Sink.write(Out);
+  Out += "\n]}\n";
+
+  std::ofstream F(Path, std::ios::binary);
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write trace file '%s'\n",
+                 Path.c_str());
+    return false;
+  }
+  F << Out;
+  return F.good();
+}
+
+std::string renderTraceSummary(const TraceSession &Session) {
+  Table T({"run", "kernel", "round", "ms", "frontier", "dir", "lane%", "cas",
+           "pf", "cycles", "instr", "llc-miss"});
+  for (const RoundRecord &R : Session.rounds()) {
+    std::string Name = R.Run < Session.runs().size()
+                           ? Session.runs()[R.Run].Name
+                           : "?";
+    double Ms =
+        static_cast<double>(R.EndNs > R.BeginNs ? R.EndNs - R.BeginNs : 0) /
+        1e6;
+    std::uint64_t ActiveLanes = R.Delta.get(Stat::InnerActiveLanes);
+    std::uint64_t TotalLanes = R.Delta.get(Stat::InnerTotalLanes);
+    std::string LanePct =
+        TotalLanes > 0
+            ? Table::fmt(100.0 * static_cast<double>(ActiveLanes) /
+                             static_cast<double>(TotalLanes),
+                         1)
+            : "-";
+    T.addRow({std::to_string(R.Run), Name, std::to_string(R.Round),
+              Table::fmt(Ms, 3),
+              R.Frontier >= 0 ? std::to_string(R.Frontier) : "-", R.Mode,
+              LanePct, Table::fmt(R.Delta.get(Stat::CasAttempts)),
+              Table::fmt(R.Delta.get(Stat::PrefetchesIssued)),
+              R.Perf.Valid ? Table::fmt(R.Perf.Cycles) : "-",
+              R.Perf.Valid ? Table::fmt(R.Perf.Instructions) : "-",
+              R.Perf.Valid ? Table::fmt(R.Perf.LlcMisses) : "-"});
+  }
+  return T.render();
+}
+
+} // namespace egacs::trace

@@ -1,0 +1,36 @@
+//===- trace/TraceExport.h - Trace exporters --------------------*- C++ -*-===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exporters over a finished TraceSession:
+///  * writeChromeTrace    - Chrome/Perfetto `trace_event` JSON (load in
+///    ui.perfetto.dev or chrome://tracing); one process per kernel run,
+///    thread 0 is the round driver, threads 1..N are the engine tasks;
+///  * renderTraceSummary  - human-readable per-round table in the style of
+///    the paper's Fig. 6 phase breakdown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGACS_TRACE_TRACEEXPORT_H
+#define EGACS_TRACE_TRACEEXPORT_H
+
+#include <string>
+
+namespace egacs::trace {
+
+class TraceSession;
+
+/// Writes \p Session as Chrome `trace_event` JSON to \p Path. Returns false
+/// (after printing a diagnostic to stderr) when the file cannot be written.
+bool writeChromeTrace(const TraceSession &Session, const std::string &Path);
+
+/// Renders the per-round summary table (one row per recorded round).
+std::string renderTraceSummary(const TraceSession &Session);
+
+} // namespace egacs::trace
+
+#endif // EGACS_TRACE_TRACEEXPORT_H

@@ -312,6 +312,7 @@ bool FuzzCampaign::runSeed(std::uint64_t Seed, FuzzFailure &Failure) {
           : 0;
 
   R.Cfg.TS = &taskSystem(R.SerialTs, R.Cfg.NumTasks);
+  R.Cfg.Trace = Opts.Trace;
   ++TotalKernelRuns;
   KernelOutput Out = runKernel(R.Kernel, R.Target, *Base, R.Cfg, Source);
   OracleResult Res = checkKernelOutput(R.Kernel, *Base, Source, Out, R.Cfg);

@@ -39,6 +39,10 @@
 #include <string>
 #include <vector>
 
+namespace egacs::trace {
+class TraceSession;
+} // namespace egacs::trace
+
 namespace egacs::verify {
 
 /// One sampled fuzz graph and its human-readable derivation.
@@ -85,6 +89,9 @@ struct FuzzOptions {
   bool Shrink = true;          ///< minimize failing graphs
   int ShrinkBudget = 300;      ///< max kernel re-runs per shrink
   bool Verbose = false;        ///< per-seed progress on stderr
+  /// Non-null: record every fuzz kernel run into this tracing session
+  /// (non-owning; only consulted in EGACS_TRACE builds).
+  trace::TraceSession *Trace = nullptr;
 };
 
 /// One oracle rejection, fully replayable.

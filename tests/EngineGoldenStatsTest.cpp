@@ -22,6 +22,7 @@
 #include "runtime/TaskSystem.h"
 #include "simd/Ops.h"
 #include "support/Stats.h"
+#include "trace/Trace.h"
 #include "verify/ConfigSample.h"
 
 #include <gtest/gtest.h>
@@ -180,11 +181,14 @@ const Csr &testGraph(const std::string &Name) {
   return Name == "road" ? Road : Rmat;
 }
 
-/// Runs one case and renders its tracked-counter line.
-std::string runCase(const GoldenCase &C) {
+/// Runs one case and renders its tracked-counter line. With \p Session the
+/// run records into it (tracing must not change a single count).
+std::string runCase(const GoldenCase &C,
+                    trace::TraceSession *Session = nullptr) {
   verify::SampledRun R = verify::parseConfigSpec(C.Spec);
   SerialTaskSystem Serial;
   R.Cfg.TS = &Serial;
+  R.Cfg.Trace = Session;
   const Csr &G = testGraph(C.Graph);
 
   statsReset();
@@ -249,6 +253,32 @@ TEST(EngineGoldenStats, CountersMatchPreEngineGoldens) {
     EXPECT_EQ(runCase(C), It->second) << caseKey(C);
   }
 }
+
+#ifdef EGACS_TRACE
+
+// Tracing neutrality: attaching a TraceSession must not change a single
+// tracked operation count — the spans observe the loops, never alter them.
+// Cases span the frontier engine (hybrid switching), the update engine's
+// merge phase, the staged prefetch loops, and the flat edge sweep.
+TEST(EngineGoldenStats, TracedRunCountersBitIdentical) {
+  const GoldenCase Picks[] = {
+      {"rmat", "kernel=bfs-hb,target=avx1-i32x8,tasks=1,ts=serial,"
+               "dir=hybrid"},
+      {"rmat", "kernel=pr,target=avx1-i32x8,tasks=1,ts=serial,"
+               "update=privatized"},
+      {"rmat", "kernel=tri,target=avx1-i32x8,tasks=1,ts=serial,"
+               "prefetch=rows,pfdist=4"},
+      {"road", "kernel=bfs-wl,target=avx1-i32x8,tasks=1,ts=serial"},
+  };
+  for (const GoldenCase &C : Picks) {
+    std::string Plain = runCase(C);
+    trace::TraceSession Session;
+    EXPECT_EQ(runCase(C, &Session), Plain) << caseKey(C);
+    EXPECT_FALSE(Session.rounds().empty()) << caseKey(C);
+  }
+}
+
+#endif // EGACS_TRACE
 
 } // namespace
 

@@ -152,6 +152,33 @@ TEST(Stats, EveryCounterHasAName) {
     EXPECT_STRNE(statName(static_cast<Stat>(I)), "");
 }
 
+TEST(Stats, CounterNamesAreDistinctAndWellFormed) {
+  // The exporters key per-round stat maps by statName, so names must be
+  // unique, non-placeholder, and in the harness's kebab-case alphabet.
+  std::set<std::string> Seen;
+  for (unsigned I = 0; I < static_cast<unsigned>(Stat::NumStats); ++I) {
+    std::string Name = statName(static_cast<Stat>(I));
+    EXPECT_TRUE(Seen.insert(Name).second) << "duplicate name: " << Name;
+    EXPECT_EQ(Name.find('<'), std::string::npos) << Name;
+    for (char C : Name)
+      EXPECT_TRUE((C >= 'a' && C <= 'z') || (C >= '0' && C <= '9') ||
+                  C == '-' || C == '+')
+          << "unexpected character in stat name: " << Name;
+  }
+  EXPECT_EQ(Seen.size(), static_cast<std::size_t>(Stat::NumStats));
+}
+
+TEST(Stats, SnapshotCoversEveryCounter) {
+  statsReset();
+  for (unsigned I = 0; I < static_cast<unsigned>(Stat::NumStats); ++I)
+    statAdd(static_cast<Stat>(I), I + 1);
+  StatsSnapshot Snap = StatsSnapshot::capture();
+  for (unsigned I = 0; I < static_cast<unsigned>(Stat::NumStats); ++I)
+    EXPECT_EQ(Snap.get(static_cast<Stat>(I)), I + 1)
+        << statName(static_cast<Stat>(I));
+  statsReset();
+}
+
 TEST(Stats, ConcurrentAddsDoNotLose) {
   statsReset();
   std::vector<std::thread> Threads;
@@ -241,6 +268,20 @@ TEST(TimerTest, TimeMsMeasuresWork) {
     std::this_thread::sleep_for(std::chrono::milliseconds(3));
   });
   EXPECT_GT(Ms, 2.0);
+}
+
+TEST(TimerTest, ClockIsSteadyAndMonotonic) {
+  // Kernel timings and trace span timestamps share Timer::Clock; both
+  // break if it can go backwards under wall-clock adjustment.
+  static_assert(Timer::Clock::is_steady,
+                "Timer must be backed by a monotonic clock");
+  Timer::Clock::time_point Prev = Timer::Clock::now();
+  for (int I = 0; I < 10000; ++I) {
+    Timer::Clock::time_point Now = Timer::Clock::now();
+    ASSERT_GE(Now.time_since_epoch().count(),
+              Prev.time_since_epoch().count());
+    Prev = Now;
+  }
 }
 
 } // namespace

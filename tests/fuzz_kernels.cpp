@@ -29,11 +29,15 @@
 #include "graph/Generators.h"
 #include "graph/Loader.h"
 #include "support/Options.h"
+#include "support/ParseEnum.h"
+#include "trace/Trace.h"
+#include "trace/TraceExport.h"
 #include "verify/FuzzCampaign.h"
 
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -193,6 +197,23 @@ int main(int Argc, char **Argv) {
   FO.ShrinkBudget = static_cast<int>(Opt.getInt("shrink-budget", 300));
   FO.Verbose = Opt.getBool("verbose", false);
 
+  // Tracing knobs (same contract as the bench harnesses): record every
+  // fuzz kernel run, export Chrome JSON and/or the per-round table at exit.
+  std::string TracePath = Opt.getString("trace", "");
+  bool TraceSummary = Opt.getBool("trace-summary", false);
+  std::unique_ptr<trace::TraceSession> Trace;
+#ifdef EGACS_TRACE
+  if (!TracePath.empty() || TraceSummary)
+    Trace = std::make_unique<trace::TraceSession>();
+  FO.Trace = Trace.get();
+#else
+  if (!TracePath.empty())
+    parseEnumFail("option", "trace", "(none: built with EGACS_TRACE=OFF)");
+  if (TraceSummary)
+    parseEnumFail("option", "trace-summary",
+                  "(none: built with EGACS_TRACE=OFF)");
+#endif
+
   // A pinned graph file fuzzes configs against one fixed input — the replay
   // path for a minimized repro the shrinker wrote earlier.
   std::optional<Csr> Pinned;
@@ -240,5 +261,13 @@ int main(int Argc, char **Argv) {
               Stats.SeedsRun, Stats.KernelRuns, Stats.Seconds,
               Stats.Seconds > 0 ? Stats.SeedsRun / Stats.Seconds : 0.0,
               Stats.Failures);
+  if (Trace) {
+    if (TraceSummary)
+      std::printf("\n%s", trace::renderTraceSummary(*Trace).c_str());
+    if (!TracePath.empty() && trace::writeChromeTrace(*Trace, TracePath))
+      std::printf("trace: wrote %s (%zu runs, %zu rounds)\n",
+                  TracePath.c_str(), Trace->runs().size(),
+                  Trace->rounds().size());
+  }
   return Failures.empty() ? 0 : 1;
 }

@@ -1,0 +1,130 @@
+//===- tools/runKernel.cpp - Single-run kernel driver ---------------------===//
+//
+// Part of the EGACS project, a reproduction of "Efficient Execution of Graph
+// Algorithms on CPU with SIMD Extensions" (CGO 2021).
+//
+// Runs one or more kernels once on one generated input, verifies the
+// output, and prints a result table. The intended companion of the tracing
+// subsystem: a single traced run per kernel, small enough to open in the
+// Perfetto UI, without the repetition and sweeps of the bench_* harnesses.
+//
+//   $ runKernel                                  # every kernel on rmat
+//   $ runKernel --input=road --kernel=bfs-hb,pr
+//   $ runKernel --trace=out.json --direction=hybrid
+//   $ runKernel --trace-summary --kernel=sssp-nf --scale=6
+//
+// Accepts every BenchCommon knob (--scale, --tasks, --sched, --layout,
+// --direction, --trace, --trace-summary, ...) plus:
+//
+//   --input=S   road|rmat|random generated input (default rmat)
+//   --kernel=S  comma-separated kernel list, or "all" (default all)
+//   --target=S  SIMD target name, or "best" (default best)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace egacs;
+using namespace egacs::bench;
+using namespace egacs::simd;
+
+namespace {
+
+/// Splits a comma-separated --kernel list into kinds; "all" selects every
+/// kernel in AllKernels order. Unknown names exit 2 via parseKernelKind.
+std::vector<KernelKind> parseKernelList(const std::string &Spec) {
+  std::vector<KernelKind> Kinds;
+  if (Spec == "all") {
+    for (KernelKind K : AllKernels)
+      Kinds.push_back(K);
+    return Kinds;
+  }
+  std::size_t Begin = 0;
+  while (Begin <= Spec.size()) {
+    std::size_t End = Spec.find(',', Begin);
+    if (End == std::string::npos)
+      End = Spec.size();
+    if (End > Begin)
+      Kinds.push_back(parseKernelKind(Spec.substr(Begin, End - Begin)));
+    Begin = End + 1;
+  }
+  if (Kinds.empty())
+    parseEnumFail("kernel", Spec, "all or a comma-separated kernel list");
+  return Kinds;
+}
+
+TargetKind parseTargetOrBest(const std::string &Name) {
+  if (Name == "best")
+    return bestTarget();
+  constexpr TargetKind Kinds[] = {
+      TargetKind::Scalar1, TargetKind::Scalar4,   TargetKind::Scalar8,
+      TargetKind::Scalar16, TargetKind::Avx2x4,   TargetKind::Avx2x8,
+      TargetKind::Avx2x16, TargetKind::Avx512x8, TargetKind::Avx512x16,
+  };
+  std::string Valid = "best";
+  for (TargetKind K : Kinds) {
+    if (Name == targetName(K)) {
+      if (!targetSupported(K))
+        parseEnumFail("target", Name, "a target this CPU supports");
+      return K;
+    }
+    Valid += "|";
+    Valid += targetName(K);
+  }
+  parseEnumFail("target", Name, Valid);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchEnv Env(Argc, Argv);
+  std::string InputName = Env.Opts.getString("input", "rmat");
+  std::vector<KernelKind> Kinds =
+      parseKernelList(Env.Opts.getString("kernel", "all"));
+  TargetKind Target = parseTargetOrBest(Env.Opts.getString("target", "best"));
+
+  banner("runKernel single-run driver", Env);
+  Input In = makeInput(InputName, Env.Scale);
+  std::printf("input: %s scale=%d (%lld nodes, %lld edges), target=%s\n\n",
+              In.Name.c_str(), Env.Scale,
+              static_cast<long long>(In.G.numNodes()),
+              static_cast<long long>(In.G.numEdges()), targetName(Target));
+
+  auto TS = Env.makeTs();
+  JsonLog Json(Env);
+  Json.meta("harness", "runKernel");
+  Json.meta("input", InputName);
+  Json.meta("scale", std::to_string(Env.Scale));
+  Json.meta("target", targetName(Target));
+  Json.setColumns({"kernel", "wall_ms", "verified"});
+
+  Table T({"kernel", "wall ms", "verified"});
+  bool AllOk = true;
+  for (KernelKind Kind : Kinds) {
+    const Csr &G = graphFor(In, Kind);
+    KernelConfig Cfg = KernelConfig::allOptimizations(*TS, Env.NumTasks);
+    Env.applySched(Cfg);
+    double Ms =
+        timeMs([&] { runKernel(Kind, Target, G, Cfg, In.Source); });
+    bool Ok = true;
+    if (Env.Verify) {
+      // Verify on a separate untraced run so the traced timeline holds
+      // exactly one run per kernel.
+      KernelConfig VCfg = Cfg;
+      VCfg.Trace = nullptr;
+      KernelOutput Out = runKernel(Kind, Target, G, VCfg, In.Source);
+      Ok = verifyKernelOutput(Kind, G, In.Source, Out, VCfg);
+      if (!Ok) {
+        std::fprintf(stderr, "error: %s on %s failed verification\n",
+                     kernelName(Kind), In.Name.c_str());
+        AllOk = false;
+      }
+    }
+    T.addRow({kernelName(Kind), Table::fmt(Ms, 3),
+              Env.Verify ? (Ok ? "yes" : "NO") : "skipped"});
+    Json.record({kernelName(Kind), Table::fmt(Ms, 3),
+                 Env.Verify ? (Ok ? "yes" : "no") : "skipped"});
+  }
+  T.print();
+  return AllOk ? 0 : 1;
+}
